@@ -1,0 +1,54 @@
+"""Fig. 10 — picking the right time to transform (β and γ sweeps).
+
+Fig. 10a: larger β triggers transformation more eagerly => more models,
+higher training cost.  Fig. 10b: larger γ (longer DoC window) makes the
+trigger harder to reach => fewer transforms, lower cost.
+"""
+
+from repro.bench import (
+    active_profile,
+    ascii_table,
+    beta_sweep,
+    build_dataset,
+    gamma_sweep,
+)
+
+
+def _rows(points):
+    return [
+        {
+            "value": p.value,
+            "accuracy_pct": round(p.accuracy * 100, 2),
+            "cost_macs": p.cost_macs,
+            "models": p.num_models,
+        }
+        for p in points
+    ]
+
+
+def test_fig10a_beta_sweep(once, report):
+    # Lift the model cap so the sweep, not the cap, decides the suite size,
+    # and use a horizon where transform *timing* still matters (with a very
+    # long budget every beta eventually spawns the same number of models).
+    profile = active_profile("femnist_like").with_(max_models=10, rounds=100)
+    ds = build_dataset(profile, seed=0)
+    betas = [0.002, 0.01, 0.05, 0.2]
+    points = once(beta_sweep, betas, ds, profile, 0)
+    report("fig10a_beta", ascii_table(_rows(points), "Fig. 10a DoC threshold beta"))
+
+    # Paper: larger beta => transform more frequently => more models, more cost.
+    assert points[-1].num_models >= points[0].num_models
+    assert points[-1].cost_macs > points[0].cost_macs
+
+
+def test_fig10b_gamma_sweep(once, report):
+    profile = active_profile("femnist_like").with_(max_models=10, rounds=100)
+    ds = build_dataset(profile, seed=0)
+    gammas = [2, 4, 8, 16]
+    points = once(gamma_sweep, gammas, ds, profile, 0)
+    report("fig10b_gamma", ascii_table(_rows(points), "Fig. 10b DoC window gamma"))
+
+    # Paper: larger gamma => harder to reach the DoC => fewer transforms,
+    # lower pre-transform training cost.
+    assert points[-1].num_models <= points[0].num_models
+    assert points[-1].cost_macs < points[0].cost_macs

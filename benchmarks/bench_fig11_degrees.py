@@ -1,0 +1,35 @@
+"""Fig. 11 — robustness to widening and deepening degrees.
+
+Accuracy and cost stay within a band across widen factors 1.1-3 and deepen
+counts 1-3: larger degrees mean fewer but more aggressive transformations.
+"""
+
+import numpy as np
+
+from repro.bench import active_profile, ascii_table, build_dataset, degree_sweep
+
+
+def test_fig11_degree_sweeps(once, report):
+    profile = active_profile("femnist_like")
+    ds = build_dataset(profile, seed=0)
+    widen, deepen = once(
+        degree_sweep, [1.2, 1.5, 2.0, 3.0], [1, 2, 3], ds, profile, 0
+    )
+
+    rows = [
+        {
+            "knob": p.knob,
+            "value": p.value,
+            "accuracy_pct": round(p.accuracy * 100, 2),
+            "cost_macs": p.cost_macs,
+            "models": p.num_models,
+        }
+        for p in widen + deepen
+    ]
+    report("fig11_degrees", ascii_table(rows, "Fig. 11 widen/deepen degrees"))
+
+    # Robustness: accuracy varies within a bounded band across degrees.
+    for points in (widen, deepen):
+        accs = np.array([p.accuracy for p in points])
+        assert accs.max() - accs.min() < 0.30
+        assert accs.min() > 0.2  # all settings still learn

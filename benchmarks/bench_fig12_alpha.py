@@ -1,0 +1,33 @@
+"""Fig. 12 — picking the right cells (activeness threshold α).
+
+Larger α selects fewer cells per transformation, so the spawned models are
+smaller and training cost drops.
+"""
+
+from repro.bench import active_profile, alpha_sweep, ascii_table, build_dataset
+
+
+def test_fig12_alpha_sweep(once, report):
+    # A deeper initial model (4 transformable cells) gives the activeness
+    # threshold real resolution — with 2 cells every alpha in [0.7, 0.99]
+    # selects the same set.  Shorter horizon keeps transform timing relevant.
+    profile = active_profile("femnist_like").with_(init_depth=4, rounds=120)
+    ds = build_dataset(profile, seed=0)
+    points = once(alpha_sweep, [0.70, 0.80, 0.90, 0.99], ds, profile, 0)
+
+    rows = [
+        {
+            "alpha": p.value,
+            "accuracy_pct": round(p.accuracy * 100, 2),
+            "cost_macs": p.cost_macs,
+            "models": p.num_models,
+        }
+        for p in points
+    ]
+    report("fig12_alpha", ascii_table(rows, "Fig. 12 activeness threshold alpha"))
+
+    # Fewer cells selected at alpha=0.99 than at 0.70 => cheaper training
+    # (small tolerance: the spawn schedule also shifts slightly).
+    assert points[-1].cost_macs <= points[0].cost_macs * 1.01
+    # Every setting still trains a usable suite.
+    assert all(p.accuracy > 0.2 for p in points)

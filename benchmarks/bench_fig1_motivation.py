@@ -1,0 +1,59 @@
+"""Fig. 1 — motivation: device heterogeneity and client accuracy variance.
+
+Fig. 1a: inference-latency distributions of three models across a ~700
+device fleet spread widely and overlap.
+Fig. 1b: across a 7-level complexity ladder, no single level is best for
+the majority of clients.
+"""
+
+import numpy as np
+
+from repro.bench import (
+    active_profile,
+    ascii_table,
+    build_dataset,
+    fig1a_latency_distributions,
+    fig1b_best_model_histogram,
+)
+
+
+def test_fig1a_latency_distributions(once, report):
+    lat = once(fig1a_latency_distributions, 700, 0)
+
+    rows = []
+    for name, values in lat.items():
+        p5, p50, p95 = np.percentile(values * 1e3, [5, 50, 95])
+        rows.append(
+            {"model": name, "p5_ms": p5, "median_ms": p50, "p95_ms": p95}
+        )
+    report("fig1a_latency", ascii_table(rows, "Fig. 1a inference latency across fleet"))
+
+    # Medians must be ordered by complexity...
+    names = ("mobilenet_v2_like", "mobilenet_v3_like", "efficientnet_b4_like")
+    medians = [np.median(lat[k]) for k in names]
+    assert medians[0] < medians[1] < medians[2]
+    # ...while adjacent distributions overlap (the paper's Fig. 1a point):
+    # a fast device runs the bigger model faster than a slow device runs
+    # the smaller one, so one latency budget admits several architectures.
+    for small, big in zip(names, names[1:]):
+        assert lat[big].min() < lat[small].max()
+    # and each spans a wide range (heterogeneous fleet)
+    for values in lat.values():
+        assert values.max() / values.min() > 10
+
+
+def test_fig1b_best_model_histogram(once, report):
+    profile = active_profile("femnist_like")
+    ds = build_dataset(profile, seed=0)
+    percent, best = once(fig1b_best_model_histogram, ds, 7, 0)
+
+    rows = [
+        {"complexity_level": i, "clients_best_pct": p} for i, p in enumerate(percent)
+    ]
+    report("fig1b_best_model", ascii_table(rows, "Fig. 1b best-model histogram"))
+
+    assert percent.sum() == 100.0 or abs(percent.sum() - 100.0) < 1e-9
+    # The paper's claim: no single model is best for the majority of clients.
+    assert percent.max() < 50.0
+    # And the best level is spread over at least 3 distinct complexities.
+    assert (percent > 0).sum() >= 3

@@ -1,0 +1,45 @@
+"""Fig. 7 — cost-to-accuracy curves: FedTrans reaches any given accuracy
+with the fewest cumulative MACs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_series
+
+DATASETS = ("cifar10_like", "femnist_like", "speech_like", "openimage_like")
+COMPARED = ("fedtrans", "fluid", "heterofl", "splitmix")
+
+
+def _cost_to_reach(xs, ys, target):
+    """First cumulative cost at which the curve reaches ``target`` accuracy."""
+    for x, y in zip(xs, ys):
+        if y >= target:
+            return x
+    return np.inf
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig7_curves(dataset, suite_for, once, report):
+    profile, ds, results = once(suite_for, dataset)
+
+    lines = []
+    curves = {}
+    for m in COMPARED:
+        xs, ys = results[m].log.cost_accuracy_curve()
+        curves[m] = (xs, ys)
+        lines.append(format_series(m, xs, ys, "cum_MACs", "accuracy"))
+    report(f"fig7_{dataset}", "\n".join(lines))
+
+    # Shape: at the accuracy every method eventually reaches, FedTrans paid
+    # the least (it starts from small models and grows judiciously).
+    common = min(max(ys) for _, ys in curves.values())
+    target = 0.9 * common
+    costs = {m: _cost_to_reach(*curves[m], target) for m in COMPARED}
+    assert costs["fedtrans"] <= min(costs[m] for m in COMPARED[1:])
+
+
+def test_fig7_fedtrans_curve_monotone_cost(suite_for, report):
+    _, _, results = suite_for("femnist_like")
+    xs, _ = results["fedtrans"].log.cost_accuracy_curve()
+    assert np.all(np.diff(xs) >= 0)

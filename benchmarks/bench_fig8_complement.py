@@ -1,0 +1,89 @@
+"""Fig. 8 — FedTrans complements FedProx and FedYogi.
+
+FedTrans + FedProx / + FedYogi achieve higher average accuracy than plain
+FedProx / FedYogi running the middle-sized FedTrans model alone.
+"""
+
+import numpy as np
+
+from repro.baselines import fedprox_trainer_config
+from repro.bench import active_profile, ascii_table, build_dataset
+from repro.bench.workloads import (
+    build_fleet,
+    coordinator_config,
+    fedtrans_config,
+    make_initial_model,
+    run_method,
+)
+from repro.core import FedTransStrategy
+from repro.fl import Coordinator
+from repro.nn.optim import Yogi
+
+
+def _fedtrans_with(profile, ds, seed, trainer=None, server_opt_factory=None):
+    rng = np.random.default_rng(seed)
+    init = make_initial_model(ds, profile, rng)
+    clients, max_cap = build_fleet(ds, init.macs(), profile, seed)
+    strategy = FedTransStrategy(
+        init,
+        fedtrans_config(profile),
+        max_capacity_macs=max_cap,
+        server_opt_factory=server_opt_factory,
+    )
+    overrides = {"trainer": trainer} if trainer else {}
+    coord = Coordinator(strategy, clients, coordinator_config(profile, seed, **overrides))
+    return strategy, coord.run()
+
+
+def test_fig8_complement(once, report):
+    # Longer horizon than the default gate: the combined methods' gains come
+    # from their larger deployed models, which need rounds to mature (the
+    # paper runs 2000; plain FedProx/FedYogi on the middle model saturate
+    # early and look artificially strong at short horizons).
+    profile = active_profile("femnist_like").with_(rounds=400)
+    ds = build_dataset(profile, seed=0)
+    base_trainer = coordinator_config(profile, 0).trainer
+    prox_trainer = fedprox_trainer_config(base_trainer, mu=0.01)
+
+    def run_all():
+        # Plain FedTrans first: its middle model feeds the single-model runs.
+        ft_plain = run_method("fedtrans", ds, profile, seed=0)
+        suite = sorted(ft_plain.strategy.models().values(), key=lambda m: m.macs())
+        middle = suite[len(suite) // 2]
+
+        out = {"fedtrans": ft_plain.log}
+        out["fedprox"] = run_method(
+            "fedprox", ds, profile, seed=0, middle_model=middle
+        ).log
+        out["fedyogi"] = run_method(
+            "fedyogi", ds, profile, seed=0, middle_model=middle
+        ).log
+        _, out["fedtrans+fedprox"] = _fedtrans_with(profile, ds, 0, trainer=prox_trainer)
+        _, out["fedtrans+fedyogi"] = _fedtrans_with(
+            profile, ds, 0, server_opt_factory=lambda: Yogi()
+        )
+        return out
+
+    logs = once(run_all)
+    rows = [
+        {
+            "method": name,
+            "accuracy_pct": round(log.final_accuracy() * 100, 2),
+            "cost_macs": log.total_macs,
+        }
+        for name, log in logs.items()
+    ]
+    report("fig8_complement", ascii_table(rows, "Fig. 8 FedTrans + FL optimizers"))
+
+    # The paper's claim is cost-framed: "achieving higher average accuracy
+    # with the same training cost".  Compare each plain optimizer's curve at
+    # the combined method's budget.
+    def acc_at_budget(plain: str, combined: str) -> tuple[float, float]:
+        xs, ys = logs[plain].cost_accuracy_curve()
+        budget = logs[combined].total_macs
+        reached = max((y for x, y in zip(xs, ys) if x <= budget), default=0.0)
+        return logs[combined].final_accuracy(), reached
+
+    for plain, combined in (("fedprox", "fedtrans+fedprox"), ("fedyogi", "fedtrans+fedyogi")):
+        ours, theirs = acc_at_budget(plain, combined)
+        assert ours >= theirs - 0.05, (combined, ours, plain, theirs)

@@ -1,0 +1,58 @@
+"""Table 4 — FedTrans generalizes beyond CNNs: ViT models.
+
+FedTrans + FedAvg on a ViT initial model beats plain FedAvg on the same
+ViT, at lower cost (the transformation path widens encoder MLPs / inserts
+identity encoder blocks).
+"""
+
+from repro.bench import active_profile, ascii_table, build_dataset
+from repro.bench.workloads import run_method
+
+
+def test_table4_vit(once, report):
+    base = active_profile("femnist_like")
+    profile = base.with_(
+        model_kind="vit",
+        image=True,
+        init_width=12,  # token dim
+        lr=0.1,
+        rounds=min(base.rounds, 120),
+        max_models=3,  # ViT cells are costly; bound the suite like the paper's budget rule
+    )
+    # Reduced label space keeps the tiny ViT (16 tokens, dim 12) learnable
+    # within the CPU budget; the comparison is FedTrans-vs-FedAvg on the
+    # *same* ViT, so the task reduction cancels out.
+    ds = build_dataset(profile, seed=0, num_classes=16)
+
+    def run_both():
+        ft = run_method("fedtrans", ds, profile, seed=0)
+        fa = run_method("fedavg", ds, profile, seed=0)  # same initial ViT
+        return ft, fa
+
+    ft, fa = once(run_both)
+    rows = [
+        {
+            "method": "fedtrans+fedavg (ViT)",
+            "accuracy_pct": round(ft.log.final_accuracy() * 100, 2),
+            "cost_macs": ft.log.total_macs,
+            "models": len(ft.strategy.models()),
+        },
+        {
+            "method": "fedavg (ViT)",
+            "accuracy_pct": round(fa.log.final_accuracy() * 100, 2),
+            "cost_macs": fa.log.total_macs,
+            "models": 1,
+        },
+    ]
+    report("table4_vit", ascii_table(rows, "Table 4 ViT models"))
+
+    # The paper's Table 4 claim is cost-framed (FedTrans + FedAvg converges
+    # orders of magnitude cheaper at better accuracy).  At reduced scale we
+    # assert the matched-cost frontier: at FedTrans's budget, plain FedAvg
+    # has reached no better accuracy.
+    xs, ys = fa.log.cost_accuracy_curve()
+    budget = ft.log.total_macs
+    fa_at_budget = max((y for x, y in zip(xs, ys) if x <= budget), default=0.0)
+    assert ft.log.final_accuracy() >= fa_at_budget - 0.02
+    # ViT cells were actually transformed (multi-model suite exists).
+    assert len(ft.strategy.models()) >= 2

@@ -1,0 +1,49 @@
+"""Table 7 — hyperparameters.
+
+Asserts the library's paper-scale defaults equal the values Table 7
+reports, and prints the full configuration table per dataset profile.
+"""
+
+from repro.bench import PROFILES, ascii_table
+from repro.core import PAPER_DEFAULTS
+from repro.fl import LocalTrainerConfig
+
+
+def test_table7_defaults(once, report):
+    trainer = once(LocalTrainerConfig)
+
+    rows = [
+        {"hyperparameter": "cell activeness threshold (alpha)", "value": PAPER_DEFAULTS.alpha, "paper": 0.9},
+        {"hyperparameter": "DoC threshold (beta)", "value": PAPER_DEFAULTS.beta, "paper": 0.003},
+        {"hyperparameter": "consecutive slopes for DoC (gamma)", "value": PAPER_DEFAULTS.gamma, "paper": 10},
+        {"hyperparameter": "soft-aggregation decay factor (eta)", "value": PAPER_DEFAULTS.eta, "paper": 0.98},
+        {"hyperparameter": "activeness window (T)", "value": PAPER_DEFAULTS.activeness_window, "paper": 5},
+        {"hyperparameter": "widen degree", "value": PAPER_DEFAULTS.widen_factor, "paper": 2},
+        {"hyperparameter": "deepen degree", "value": PAPER_DEFAULTS.deepen_cells, "paper": 1},
+        {"hyperparameter": "local training steps", "value": trainer.local_steps, "paper": 20},
+        {"hyperparameter": "batch size", "value": trainer.batch_size, "paper": 10},
+        {"hyperparameter": "learning rate", "value": trainer.lr, "paper": 0.05},
+    ]
+    report("table7_hparams", ascii_table(rows, "Table 7 hyperparameters"))
+    for row in rows:
+        assert float(row["value"]) == float(row["paper"]), row["hyperparameter"]
+
+    # Per-dataset delta (loss-slope step) matches Table 7's spread at paper
+    # scale: 20 (CIFAR) / 30 (FEMNIST) / 100 (Speech) / 50 (OpenImage).
+    paper_profiles = PROFILES["paper"]
+    assert paper_profiles["femnist_like"].delta == 30
+    assert paper_profiles["speech_like"].delta == 100
+    assert paper_profiles["openimage_like"].delta == 50
+
+    scale_rows = [
+        {
+            "dataset": name,
+            "rounds": p.rounds,
+            "clients/round": p.clients_per_round,
+            "delta": p.delta,
+            "gamma": p.gamma,
+            "beta": p.beta,
+        }
+        for name, p in paper_profiles.items()
+    ]
+    report("table7_paper_profiles", ascii_table(scale_rows, "Paper-scale schedule"))

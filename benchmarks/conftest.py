@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+scale selected by ``REPRO_PROFILE`` (default ``tiny``).  Results are both
+printed (run with ``-s`` to see them live) and appended to
+``benchmarks/_results/<name>.txt`` so EXPERIMENTS.md can be assembled from
+a completed run.
+
+The expensive 5-method workload suites are cached per dataset and shared
+across Table 2 / Fig. 6 / Fig. 7 / Fig. 2.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import active_profile, build_dataset, run_workload_suite
+
+RESULTS_DIR = Path(__file__).parent / "_results"
+
+SUITE_METHODS = ("fedtrans", "fluid", "heterofl", "splitmix", "fedavg")
+
+_SUITE_CACHE: dict[str, tuple] = {}
+
+
+@pytest.fixture(scope="session")
+def suite_for():
+    """Lazily run (and cache) the full method suite for a dataset."""
+
+    def get(dataset_name: str):
+        if dataset_name not in _SUITE_CACHE:
+            profile = active_profile(dataset_name)
+            ds = build_dataset(profile, seed=0)
+            results = run_workload_suite(ds, profile, methods=SUITE_METHODS, seed=0)
+            _SUITE_CACHE[dataset_name] = (profile, ds, results)
+        return _SUITE_CACHE[dataset_name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a result block and persist it under benchmarks/_results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        block = f"\n=== {name} (profile={os.environ.get('REPRO_PROFILE', 'tiny')}) ===\n{text}\n"
+        print(block)
+        with open(RESULTS_DIR / f"{name}.txt", "w") as f:
+            f.write(block)
+
+    return emit
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Experiment regeneration is far too heavy for repeated timing rounds;
+    one measured round still records wall-clock in the benchmark table.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

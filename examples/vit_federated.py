@@ -1,0 +1,70 @@
+"""FedTrans on Vision-Transformer models (the Table 4 scenario).
+
+Run:  python examples/vit_federated.py
+
+FedTrans's transformations are architecture-generic: on ViT cells, widening
+grows the encoder MLP hidden width and deepening inserts zero-residual
+identity encoder blocks.  This example trains a tiny ViT federatedly with
+and without FedTrans.
+"""
+
+import numpy as np
+
+from repro.baselines import fedavg
+from repro.core import FedTransConfig, FedTransStrategy
+from repro.data import femnist_like
+from repro.device import calibrate_capacities, sample_device_traces
+from repro.fl import Coordinator, CoordinatorConfig, FLClient, LocalTrainerConfig
+from repro.nn import vit_tiny
+
+
+def main() -> None:
+    # (1, 8, 8) images; 16 classes keeps the tiny ViT learnable on CPU.
+    dataset = femnist_like(scale=0.012, seed=3, image=True, num_classes=16)
+    rng = np.random.default_rng(3)
+    initial = vit_tiny(
+        dataset.input_shape, dataset.num_classes, rng,
+        dim=12, heads=2, mlp_hidden=24, depth=2, patch=2,
+    )
+    print(f"initial ViT: {initial.macs():,} MACs, {initial.num_params():,} params")
+    print(initial.summary())
+
+    traces = calibrate_capacities(
+        sample_device_traces(dataset.num_clients, rng),
+        initial.macs(),
+        initial.macs() * 16,
+    )
+    clients = [FLClient(c.client_id, c, t) for c, t in zip(dataset.clients, traces)]
+    coord_cfg = CoordinatorConfig(
+        rounds=120,
+        clients_per_round=8,
+        trainer=LocalTrainerConfig(batch_size=10, local_steps=8, lr=0.1),
+        eval_every=30,
+        seed=3,
+    )
+
+    # FedTrans over ViT cells
+    strategy = FedTransStrategy(
+        initial.clone(keep_id=True),
+        FedTransConfig(gamma=3, delta=4, beta=0.05, max_models=4),
+        max_capacity_macs=max(t.capacity_macs for t in traces),
+    )
+    ft_log = Coordinator(strategy, clients, coord_cfg).run()
+    print("\n--- FedTrans-transformed ViT suite ---")
+    print(strategy.suite_summary())
+    for record in ft_log.rounds:
+        for event in record.events:
+            print(f"round {record.round_idx:>3}: {event}")
+
+    # Plain FedAvg on the same initial ViT
+    fa_log = Coordinator(fedavg(initial.clone(keep_id=True)), clients, coord_cfg).run()
+
+    print("\n--- results (Table 4 scenario) ---")
+    print(f"fedtrans+fedavg (ViT): accuracy {ft_log.final_accuracy():.1%}, "
+          f"cost {ft_log.total_macs:.3e} MACs")
+    print(f"fedavg (ViT):          accuracy {fa_log.final_accuracy():.1%}, "
+          f"cost {fa_log.total_macs:.3e} MACs")
+
+
+if __name__ == "__main__":
+    main()

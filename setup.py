@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+needs the legacy (non-PEP-517) editable path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

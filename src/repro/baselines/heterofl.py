@@ -1,0 +1,107 @@
+"""HeteroFL (Diao et al., ICLR 2020): static nested width-scaled subnets.
+
+The server keeps one global model and a fixed ladder of width ratios
+(e.g. 1, 1/2, 1/4, 1/8).  Every client trains the largest ratio its
+hardware fits; submodels are the *leading* channels of the global model
+(nested), and aggregation averages each global coordinate over exactly the
+client updates that covered it.
+
+Following the paper's Appendix A.1, the global model handed to HeteroFL in
+the benches is the largest model FedTrans produced, so both methods span
+the same complexity range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.strategy import Strategy
+from ..fl.types import ClientUpdate, FLClient
+from ..nn.model import CellModel
+from .subnet import SubnetSpec, build_subnet, param_index_map, ratio_spec, scatter_average
+
+__all__ = ["HeteroFLStrategy"]
+
+DEFAULT_RATIOS = (1.0, 0.5, 0.25, 0.125)
+
+
+class HeteroFLStrategy(Strategy):
+    """Static width-ratio submodels with crop/scatter aggregation."""
+
+    name = "heterofl"
+
+    def __init__(self, global_model: CellModel, ratios: tuple[float, ...] = DEFAULT_RATIOS):
+        if not ratios or any(not 0 < r <= 1 for r in ratios):
+            raise ValueError("ratios must lie in (0, 1]")
+        self.global_model = global_model
+        self._ratios = tuple(sorted(set(ratios), reverse=True))
+        self._specs: dict[str, SubnetSpec] = {}
+        self._index_maps: dict[int, dict] = {}
+        self._models: dict[str, CellModel] = {}
+        self._spec_of_model: dict[str, SubnetSpec] = {}
+        for i, r in enumerate(self._ratios):
+            spec = ratio_spec(global_model, r)
+            mid = f"heterofl_r{r:g}"
+            self._specs[mid] = spec
+            self._index_maps[id(spec)] = param_index_map(global_model, spec)
+        self._refresh_submodels()
+
+    # ------------------------------------------------------------------
+    def _refresh_submodels(self) -> None:
+        """Re-derive every submodel from the current global weights."""
+        self._models = {}
+        self._spec_of_model = {}
+        for mid, spec in self._specs.items():
+            sub = build_subnet(self.global_model, spec)
+            sub.model_id = mid  # stable ids across rounds
+            self._models[mid] = sub
+            self._spec_of_model[mid] = spec
+
+    def models(self) -> dict[str, CellModel]:
+        return dict(self._models)
+
+    # ------------------------------------------------------------------
+    def assign(
+        self, round_idx: int, participants: list[FLClient], rng: np.random.Generator
+    ) -> dict[int, list[str]]:
+        out: dict[int, list[str]] = {}
+        for c in participants:
+            out[c.client_id] = [self._largest_compatible(c)]
+        return out
+
+    def _largest_compatible(self, client: FLClient) -> str:
+        fits = [
+            (self._models[mid].macs(), mid)
+            for mid in self._models
+            if self._models[mid].macs() <= client.capacity_macs
+        ]
+        if not fits:
+            return min(self._models, key=lambda m: self._models[m].macs())
+        return max(fits)[1]
+
+    # ------------------------------------------------------------------
+    def aggregate(
+        self, round_idx: int, updates: list[ClientUpdate], rng: np.random.Generator
+    ) -> list[str]:
+        if not updates:
+            return []
+        contribs = [
+            (u.params, self._spec_of_model[u.model_id], float(u.num_samples)) for u in updates
+        ]
+        merged = scatter_average(self.global_model.params(), contribs, self._index_maps)
+        self.global_model.set_params(merged)
+        state_contribs = [
+            (u.state, self._spec_of_model[u.model_id], float(u.num_samples))
+            for u in updates
+            if u.state
+        ]
+        if state_contribs:
+            merged_state = scatter_average(
+                self.global_model.state(), state_contribs, self._index_maps
+            )
+            self.global_model.set_state(merged_state)
+        self._refresh_submodels()
+        return []
+
+    def eval_model_for(self, client: FLClient) -> str:
+        return self._largest_compatible(client)

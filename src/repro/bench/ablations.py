@@ -1,0 +1,165 @@
+"""Parameter sweeps for the ablation studies (§5.4).
+
+Each sweep runs FedTrans end-to-end with one knob varied, reporting the
+(knob, accuracy, cost) series the corresponding figure plots:
+
+* :func:`beta_sweep` — Fig. 10a (DoC threshold);
+* :func:`gamma_sweep` — Fig. 10b (DoC window size);
+* :func:`degree_sweep` — Fig. 11 (widen factor / deepen count);
+* :func:`alpha_sweep` — Fig. 12 (cell-activeness threshold);
+* :func:`heterogeneity_sweep` — Fig. 13 (Dirichlet h);
+* :func:`breakdown` — Table 3 (component knock-outs);
+* :func:`l2s_comparison` — Table 1 (large-to-small weight sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data import FederatedDataset, femnist_like
+from .profiles import ScaleProfile
+from .workloads import build_dataset, run_method
+
+__all__ = [
+    "SweepPoint",
+    "beta_sweep",
+    "gamma_sweep",
+    "alpha_sweep",
+    "degree_sweep",
+    "heterogeneity_sweep",
+    "breakdown",
+    "l2s_comparison",
+    "BREAKDOWN_VARIANTS",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of a sweep."""
+
+    knob: str
+    value: float
+    accuracy: float
+    cost_macs: float
+    num_models: int
+
+
+def _run_point(
+    knob: str,
+    value: float,
+    dataset: FederatedDataset,
+    profile: ScaleProfile,
+    seed: int,
+    overrides: dict,
+) -> SweepPoint:
+    res = run_method(
+        "fedtrans", dataset, profile, seed=seed, fedtrans_overrides=overrides
+    )
+    return SweepPoint(
+        knob,
+        value,
+        res.log.final_accuracy(),
+        res.log.total_macs,
+        len(res.strategy.models()),
+    )
+
+
+def beta_sweep(
+    values: list[float], dataset: FederatedDataset, profile: ScaleProfile, seed: int = 0
+) -> list[SweepPoint]:
+    """Fig. 10a: larger β transforms more eagerly (more models, more cost)."""
+    return [
+        _run_point("beta", v, dataset, profile, seed, {"beta": v}) for v in values
+    ]
+
+
+def gamma_sweep(
+    values: list[int], dataset: FederatedDataset, profile: ScaleProfile, seed: int = 0
+) -> list[SweepPoint]:
+    """Fig. 10b: larger γ makes the DoC harder to reach (fewer transforms)."""
+    return [
+        _run_point("gamma", v, dataset, profile, seed, {"gamma": int(v)}) for v in values
+    ]
+
+
+def alpha_sweep(
+    values: list[float], dataset: FederatedDataset, profile: ScaleProfile, seed: int = 0
+) -> list[SweepPoint]:
+    """Fig. 12: larger α selects fewer cells (smaller expansions, lower cost)."""
+    return [
+        _run_point("alpha", v, dataset, profile, seed, {"alpha": v}) for v in values
+    ]
+
+
+def degree_sweep(
+    widen_values: list[float],
+    deepen_values: list[int],
+    dataset: FederatedDataset,
+    profile: ScaleProfile,
+    seed: int = 0,
+) -> tuple[list[SweepPoint], list[SweepPoint]]:
+    """Fig. 11: robustness to the widen factor and deepen count."""
+    widen = [
+        _run_point("widen_factor", v, dataset, profile, seed, {"widen_factor": v})
+        for v in widen_values
+    ]
+    deepen = [
+        _run_point("deepen_cells", v, dataset, profile, seed, {"deepen_cells": int(v)})
+        for v in deepen_values
+    ]
+    return widen, deepen
+
+
+def heterogeneity_sweep(
+    h_values: list[float], profile: ScaleProfile, seed: int = 0
+) -> list[SweepPoint]:
+    """Fig. 13: Dirichlet(h) label heterogeneity on the FEMNIST-like task."""
+    points = []
+    for h in h_values:
+        ds = femnist_like(
+            scale=profile.scale, seed=seed, image=profile.image, h=h
+        )
+        points.append(_run_point("h", h, ds, profile, seed, {}))
+    return points
+
+
+#: Table 3 rows: cumulative component knock-outs.
+#: 'l' layer selection, 's' soft aggregation, 'w' warmup, 'd' decay.
+BREAKDOWN_VARIANTS: dict[str, dict] = {
+    "fedtrans": {},
+    "fedtrans-l": {"gradient_cell_selection": False},
+    "fedtrans-ls": {"gradient_cell_selection": False, "soft_aggregation": False},
+    "fedtrans-lsw": {
+        "gradient_cell_selection": False,
+        "soft_aggregation": False,
+        "warmup": False,
+    },
+    "fedtrans-lswd": {
+        "gradient_cell_selection": False,
+        "soft_aggregation": False,
+        "warmup": False,
+        "decay": False,
+    },
+}
+
+
+def breakdown(
+    dataset: FederatedDataset, profile: ScaleProfile, seed: int = 0
+) -> dict[str, SweepPoint]:
+    """Table 3: contribution of each FedTrans component."""
+    out: dict[str, SweepPoint] = {}
+    for name, overrides in BREAKDOWN_VARIANTS.items():
+        out[name] = _run_point(name, 0.0, dataset, profile, seed, overrides)
+    return out
+
+
+def l2s_comparison(
+    profile: ScaleProfile, dataset: FederatedDataset, seed: int = 0
+) -> dict[str, SweepPoint]:
+    """Table 1: weight sharing from large models to small models on/off."""
+    return {
+        "fedtrans": _run_point("l2s", 0.0, dataset, profile, seed, {}),
+        "fedtrans(l2s)": _run_point(
+            "l2s", 1.0, dataset, profile, seed, {"share_l2s": True}
+        ),
+    }

@@ -1,0 +1,82 @@
+"""Plain-text reporting: the tables and figure-series the benches print.
+
+Figures are emitted as aligned data series (x, y per method) rather than
+graphics — the repository is headless — but every series carries exactly
+the data the paper plots, so re-plotting is a one-liner for downstream
+users.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_table", "box_stats", "format_series", "format_box_row"]
+
+
+def ascii_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render dict-rows as an aligned text table (stable column order)."""
+    if not rows:
+        return "(empty table)"
+    cols: list[str] = []
+    for row in rows:
+        for k in row:
+            if k not in cols:
+                cols.append(k)
+    rendered = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def box_stats(values: np.ndarray) -> dict[str, float]:
+    """Five-number summary for one box of a box plot (Fig. 6)."""
+    values = np.asarray(values, dtype=float)
+    lo, q25, med, q75, hi = np.percentile(values, [0, 25, 50, 75, 100])
+    return {
+        "min": float(lo),
+        "q25": float(q25),
+        "median": float(med),
+        "q75": float(q75),
+        "max": float(hi),
+        "mean": float(values.mean()),
+    }
+
+
+def format_box_row(label: str, values: np.ndarray, scale: float = 100.0) -> dict[str, object]:
+    """A Fig. 6-style box-plot row in percent."""
+    s = box_stats(values)
+    return {
+        "method": label,
+        "min%": round(s["min"] * scale, 1),
+        "q25%": round(s["q25"] * scale, 1),
+        "median%": round(s["median"] * scale, 1),
+        "q75%": round(s["q75"] * scale, 1),
+        "max%": round(s["max"] * scale, 1),
+        "mean%": round(s["mean"] * scale, 1),
+    }
+
+
+def format_series(
+    label: str, xs: Sequence[float], ys: Sequence[float], x_name: str = "x", y_name: str = "y"
+) -> str:
+    """One figure series as aligned text: ``label: (x, y) ...``."""
+    pairs = "  ".join(f"({_fmt(float(x))}, {_fmt(float(y))})" for x, y in zip(xs, ys))
+    return f"{label} [{x_name} -> {y_name}]: {pairs}"

@@ -1,0 +1,132 @@
+"""Command-line entry point: run experiments without writing code.
+
+Examples::
+
+    python -m repro run --dataset femnist_like --method fedtrans
+    python -m repro run --dataset cifar10_like --method heterofl --rounds 100
+    python -m repro suite --dataset femnist_like --out results.json
+    python -m repro profiles
+
+``run`` executes one (method, dataset) workload at the profile selected by
+``--profile`` / ``REPRO_PROFILE`` and prints the summary row; ``suite``
+runs the paper's full comparison protocol (FedTrans first, then the
+baselines on its largest model).  ``--save-log`` exports the full training
+log as JSON; ``--save-models`` checkpoints the final model suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .bench import active_profile, ascii_table, build_dataset, run_method, run_workload_suite
+from .bench.profiles import DATASETS, PROFILES
+from .bench.workloads import METHODS
+from .fl.export import log_to_dict, save_log
+from .nn.serialization import save_model
+
+__all__ = ["main"]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", choices=DATASETS, default="femnist_like")
+    p.add_argument("--profile", choices=sorted(PROFILES), default=None,
+                   help="scale profile (default: $REPRO_PROFILE or 'tiny')")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--rounds", type=int, default=None, help="override round budget")
+    p.add_argument("--save-log", type=Path, default=None, help="write run log JSON here")
+
+
+def _profile(args):
+    profile = active_profile(args.dataset, override=args.profile)
+    if args.rounds is not None:
+        profile = profile.with_(rounds=args.rounds)
+    return profile
+
+
+def cmd_run(args) -> int:
+    profile = _profile(args)
+    dataset = build_dataset(profile, seed=args.seed)
+    if args.method in ("heterofl", "splitmix", "fluid"):
+        # These need FedTrans's largest model (the Appendix A.1 protocol).
+        ft = run_method("fedtrans", dataset, profile, seed=args.seed)
+        largest = max(ft.strategy.models().values(), key=lambda m: m.macs())
+        res = run_method(
+            args.method, dataset, profile, seed=args.seed, global_model=largest
+        )
+    else:
+        res = run_method(args.method, dataset, profile, seed=args.seed)
+    print(ascii_table([res.summary.row()], f"{args.method} on {args.dataset}"))
+    if args.save_log:
+        save_log(res.log, args.save_log)
+        print(f"log written to {args.save_log}")
+    if args.save_models:
+        args.save_models.mkdir(parents=True, exist_ok=True)
+        for mid, model in res.strategy.models().items():
+            save_model(model, args.save_models / f"{mid}.npz")
+        print(f"{len(res.strategy.models())} model(s) written to {args.save_models}/")
+    return 0
+
+
+def cmd_suite(args) -> int:
+    profile = _profile(args)
+    dataset = build_dataset(profile, seed=args.seed)
+    results = run_workload_suite(dataset, profile, seed=args.seed)
+    rows = [r.summary.row() for r in results.values()]
+    print(ascii_table(rows, f"suite on {args.dataset} ({profile.name} profile)"))
+    if args.out:
+        payload = {m: log_to_dict(r.log) for m, r in results.items()}
+        with open(args.out, "w") as f:
+            json.dump(payload, f, indent=1)
+        print(f"full logs written to {args.out}")
+    return 0
+
+
+def cmd_profiles(args) -> int:
+    rows = []
+    for pname, table in PROFILES.items():
+        for ds, p in table.items():
+            rows.append(
+                {
+                    "profile": pname,
+                    "dataset": ds,
+                    "clients_scale": p.scale,
+                    "rounds": p.rounds,
+                    "clients/round": p.clients_per_round,
+                    "model": p.model_kind,
+                    "beta": p.beta,
+                    "gamma": p.gamma,
+                    "delta": p.delta,
+                }
+            )
+    print(ascii_table(rows, "available scale profiles"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one method on one dataset")
+    _add_common(p_run)
+    p_run.add_argument("--method", choices=METHODS, default="fedtrans")
+    p_run.add_argument("--save-models", type=Path, default=None,
+                       help="directory for final model checkpoints")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_suite = sub.add_parser("suite", help="run the full comparison protocol")
+    _add_common(p_suite)
+    p_suite.add_argument("--out", type=Path, default=None, help="write all logs JSON")
+    p_suite.set_defaults(fn=cmd_suite)
+
+    p_prof = sub.add_parser("profiles", help="list scale profiles")
+    p_prof.set_defaults(fn=cmd_profiles)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""FedTrans core: the paper's contribution.
+
+* :class:`~repro.core.config.FedTransConfig` — every hyperparameter and
+  ablation flag (Table 7).
+* :class:`~repro.core.transformer.ModelTransformer` — when/where/how to
+  transform (§4.1: DoC, activeness, widen/deepen).
+* :class:`~repro.core.client_manager.ClientManager` — utility-based model
+  assignment (§4.2, Eqs. 2-4).
+* :class:`~repro.core.aggregator.ModelAggregator` — soft multi-model
+  aggregation (§4.3, Eq. 5).
+* :class:`~repro.core.runtime.FedTransStrategy` — Algorithm 1, pluggable
+  into the :class:`~repro.fl.coordinator.Coordinator`.
+"""
+
+from .activeness import ActivenessTracker, cell_gradient_norms
+from .aggregator import ModelAggregator, project_overlap
+from .client_manager import ClientManager, SimilarityCache
+from .config import PAPER_DEFAULTS, FedTransConfig
+from .doc import DoCTracker
+from .runtime import FedTransStrategy
+from .similarity import cell_matching_degree, model_similarity
+from .transform import apply_transform, reinitialize, select_cells, select_cells_random
+from .transformer import ModelTransformer
+
+__all__ = [
+    "ActivenessTracker",
+    "cell_gradient_norms",
+    "ModelAggregator",
+    "project_overlap",
+    "ClientManager",
+    "SimilarityCache",
+    "PAPER_DEFAULTS",
+    "FedTransConfig",
+    "DoCTracker",
+    "FedTransStrategy",
+    "cell_matching_degree",
+    "model_similarity",
+    "apply_transform",
+    "reinitialize",
+    "select_cells",
+    "select_cells_random",
+    "ModelTransformer",
+]

@@ -1,0 +1,160 @@
+"""Model Aggregator: within-model FedAvg + cross-model soft aggregation (§4.3).
+
+Aggregation runs in two stages each round:
+
+1. **Within-model FedAvg** — each model's participant updates are averaged
+   weighted by local sample counts (weights *and* BatchNorm statistics).
+2. **Cross-model soft aggregation (Eq. 5)** — model ``j`` additionally
+   absorbs the weights of earlier-born models ``i < j``, weighted by
+   ``η^{t} · sim(M_i, M_j)``.  Sharing is small→large only by default: the
+   paper's Table 1 shows large→small ("l2s") sharing hurts small-model
+   accuracy (``share_l2s=True`` re-enables it for that experiment).  The
+   decay ``η^t`` phases out cross-model noise as training converges; the
+   '-d' ablation disables it.
+
+Shape mismatches between related models are resolved per tensor by
+*leading-overlap projection* (HeteroFL-style cropping): the overlapping
+leading region of the source tensor is written over a copy of the
+destination tensor.  Because widening always places inherited channels
+first, the leading region is exactly the shared lineage.
+
+Normalization deviates from Eq. 5's literal form — see DESIGN.md §2 and
+``strict_eq5``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.types import ClientUpdate
+from ..nn.model import CellModel
+from ..nn.param_ops import ParamTree, tree_average
+from .client_manager import SimilarityCache
+from .config import FedTransConfig
+
+__all__ = ["project_overlap", "ModelAggregator"]
+
+
+def project_overlap(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Write ``src``'s leading-overlap region into a copy of ``dst``.
+
+    Handles every shape relation (crop, embed, and mixed axes) in one rule:
+    ``out[:o1, :o2, ...] = src[:o1, :o2, ...]`` with ``o = min(shapes)``.
+    """
+    if src.shape == dst.shape:
+        return src.copy()
+    if src.ndim != dst.ndim:
+        raise ValueError(f"rank mismatch projecting {src.shape} -> {dst.shape}")
+    overlap = tuple(slice(0, min(s, d)) for s, d in zip(src.shape, dst.shape))
+    out = dst.copy()
+    out[overlap] = src[overlap]
+    return out
+
+
+class ModelAggregator:
+    """Implements Algorithm 1's ``UpdateWeight`` step.
+
+    ``server_opt_factory`` optionally supplies a per-model server optimizer
+    (e.g. ``lambda: Yogi()``) applied to each model's FedAvg pseudo-gradient
+    — this is how "FedTrans + FedYogi" (Fig. 8) composes.  Each model gets
+    its own optimizer state, created lazily at first aggregation.
+    """
+
+    def __init__(
+        self,
+        config: FedTransConfig,
+        sim_cache: SimilarityCache,
+        server_opt_factory=None,
+    ):
+        self.config = config
+        self.sim_cache = sim_cache
+        self.server_opt_factory = server_opt_factory
+        self._server_opts: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def aggregate(
+        self,
+        models: dict[str, CellModel],
+        birth_order: list[str],
+        updates: list[ClientUpdate],
+        round_idx: int,
+    ) -> None:
+        """Run both aggregation stages, mutating the server models in place."""
+        self._within_model(models, updates)
+        if self.config.soft_aggregation and len(models) > 1:
+            self._across_models(models, birth_order, round_idx)
+
+    # ------------------------------------------------------------------
+    def _within_model(
+        self, models: dict[str, CellModel], updates: list[ClientUpdate]
+    ) -> None:
+        by_model: dict[str, list[ClientUpdate]] = {}
+        for u in updates:
+            by_model.setdefault(u.model_id, []).append(u)
+        for mid, ups in by_model.items():
+            model = models[mid]
+            weights = [float(u.num_samples) for u in ups]
+            avg = tree_average([u.params for u in ups], weights)
+            if self.server_opt_factory is None:
+                model.set_params(avg)
+            else:
+                opt = self._server_opts.get(mid)
+                if opt is None:
+                    opt = self._server_opts[mid] = self.server_opt_factory()
+                current = model.get_params()
+                pseudo_grad = {k: current[k] - avg[k] for k in current}
+                model.set_params(opt.step(current, pseudo_grad))
+            states = [u.state for u in ups]
+            if states and states[0]:
+                model.set_state(tree_average(states, weights))
+
+    # ------------------------------------------------------------------
+    def _decay_factor(self, round_idx: int, dst: CellModel) -> float:
+        """η^t for cross-model terms; 1 when the '-d' ablation disables decay."""
+        if not self.config.decay:
+            return 1.0
+        t = round_idx - dst.birth_round if self.config.decay_by_model_age else round_idx
+        return float(self.config.eta ** max(t, 0))
+
+    def _across_models(
+        self,
+        models: dict[str, CellModel],
+        birth_order: list[str],
+        round_idx: int,
+    ) -> None:
+        """Eq. 5 over every model, oldest first.
+
+        Snapshots all post-FedAvg weights first so each destination model
+        aggregates from its peers' *this-round* weights rather than from
+        partially soft-aggregated ones.
+        """
+        snapshot: dict[str, ParamTree] = {
+            mid: models[mid].get_params() for mid in birth_order
+        }
+        for j, dst_id in enumerate(birth_order):
+            dst = models[dst_id]
+            if self.config.share_l2s:
+                source_ids = list(birth_order)
+            else:
+                source_ids = birth_order[: j + 1]
+            if len(source_ids) == 1:
+                continue  # only itself: aggregation is the identity
+            decay = self._decay_factor(round_idx, dst)
+            new_params: ParamTree = {}
+            dst_params = snapshot[dst_id]
+            for key, dst_val in dst_params.items():
+                num = np.zeros_like(dst_val)
+                den = 0.0
+                for src_id in source_ids:
+                    src_params = snapshot[src_id]
+                    if key not in src_params:
+                        continue  # cell absent from the source's lineage
+                    sim = self.sim_cache.get(models[src_id], dst)
+                    if sim <= 0.0:
+                        continue
+                    w_num = sim if src_id == dst_id else decay * sim
+                    w_den = sim if self.config.strict_eq5 else w_num
+                    num += w_num * project_overlap(src_params[key], dst_val)
+                    den += w_den
+                new_params[key] = num / den if den > 0 else dst_val
+            dst.set_params(new_params)

@@ -1,0 +1,126 @@
+"""Client Manager: utility-based model assignment (§4.2, Eqs. 2-4).
+
+Per registered client the manager keeps a loss-based utility per model.
+When a client participates, a model is *sampled* from the softmax of its
+utilities over the compatible set (Eqs. 2-3) — soft assignment that keeps
+exploring while favouring models that fit the client's data.  After each
+round the utilities of **all** models are jointly updated from the round's
+standardized training loss, scaled by architectural similarity (Eq. 4), so
+new and rarely-trained models inherit signal from their relatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.model import CellModel
+from .similarity import model_similarity
+
+__all__ = ["SimilarityCache", "ClientManager"]
+
+
+class SimilarityCache:
+    """Memoized ``sim(src, dst)`` lookups.
+
+    Safe to key on model ids because a model's *architecture* is immutable
+    after birth — transformations always clone the frontier into a new
+    model rather than editing one in place.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[str, str], float] = {}
+
+    def get(self, src: CellModel, dst: CellModel) -> float:
+        key = (src.model_id, dst.model_id)
+        if key not in self._cache:
+            self._cache[key] = model_similarity(src, dst)
+        return self._cache[key]
+
+
+class ClientManager:
+    """Tracks per-client model utilities and samples assignments."""
+
+    def __init__(self, sim_cache: SimilarityCache | None = None):
+        self.sim_cache = sim_cache or SimilarityCache()
+        self._utilities: dict[int, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    def utility(self, client_id: int, model_id: str) -> float:
+        """Current utility (0 for never-updated pairs)."""
+        return self._utilities.get(client_id, {}).get(model_id, 0.0)
+
+    def register_model(self, new_id: str, parent_id: str) -> None:
+        """New model inherits its parent's utility per client (Alg. 1 l.18)."""
+        for utils in self._utilities.values():
+            if parent_id in utils:
+                utils[new_id] = utils[parent_id]
+
+    # ------------------------------------------------------------------
+    def assignment_probabilities(
+        self, client_id: int, compatible_ids: list[str]
+    ) -> np.ndarray:
+        """Eq. 3: softmax of the client's utilities over compatible models."""
+        if not compatible_ids:
+            raise ValueError("no compatible models to sample from")
+        u = np.array([self.utility(client_id, mid) for mid in compatible_ids])
+        z = u - u.max()
+        e = np.exp(z)
+        return e / e.sum()
+
+    def sample_model(
+        self, client_id: int, compatible_ids: list[str], rng: np.random.Generator
+    ) -> str:
+        """Eq. 2: probabilistic model assignment."""
+        p = self.assignment_probabilities(client_id, compatible_ids)
+        return compatible_ids[int(rng.choice(len(compatible_ids), p=p))]
+
+    def best_model(self, client_id: int, compatible_ids: list[str]) -> str:
+        """Deployment choice: the compatible model with the highest utility.
+
+        Ties (e.g. clients that never participated) break toward the model
+        with the highest fleet-wide mean utility, then the earliest-born
+        (most-trained) model.
+        """
+        if not compatible_ids:
+            raise ValueError("no compatible models")
+
+        def global_mean(mid: str) -> float:
+            vals = [u[mid] for u in self._utilities.values() if mid in u]
+            return float(np.mean(vals)) if vals else 0.0
+
+        ranked = sorted(
+            range(len(compatible_ids)),
+            key=lambda i: (
+                self.utility(client_id, compatible_ids[i]),
+                global_mean(compatible_ids[i]),
+                -i,
+            ),
+            reverse=True,
+        )
+        return compatible_ids[ranked[0]]
+
+    # ------------------------------------------------------------------
+    def update(self, updates, models: dict[str, CellModel]) -> None:
+        """Eq. 4 joint utility update after a round.
+
+        ``updates`` is the round's list of :class:`ClientUpdate`; losses are
+        standardized *across the round's participants* so a below-average
+        loss raises utility and an above-average loss lowers it.
+        """
+        if not updates:
+            return
+        losses = np.array([u.train_loss for u in updates], dtype=float)
+        mean = losses.mean()
+        std = losses.std()
+        if std < 1e-12:
+            standardized = np.zeros_like(losses)
+        else:
+            standardized = (losses - mean) / std
+        for u, l_std in zip(updates, standardized):
+            assigned = models[u.model_id]
+            utils = self._utilities.setdefault(u.client_id, {})
+            for mid, model in models.items():
+                sim = self.sim_cache.get(model, assigned)
+                if sim <= 0.0:
+                    continue
+                utils[mid] = utils.get(mid, 0.0) - float(l_std) * sim

@@ -1,0 +1,149 @@
+"""FedTransStrategy: Algorithm 1 as a :class:`~repro.fl.strategy.Strategy`.
+
+Per round (matching the pseudo-code's line numbers):
+
+* **assign** (l.5-8) — for each selected client, filter the suite to
+  compatible models (``MAC(M) <= T_c``) and sample one from the utility
+  softmax (Client Manager, Eqs. 2-3).
+* **aggregate** (l.11-22) — update utilities from the round's losses
+  (Eq. 4); run within-model FedAvg plus cross-model soft aggregation
+  (Eq. 5); feed the frontier model's mean loss and aggregate gradient to
+  the Model Transformer, which maintains the DoC (Eq. 1) and per-cell
+  activeness; when the DoC crosses β, clone the frontier, transform its
+  most-active cells (Fig. 5), and register the child with inherited
+  weights and utilities.
+
+Deployment (``eval_model_for``) gives each client its highest-utility
+compatible model — the rule §5.1 uses for all reported accuracies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.strategy import Strategy
+from ..fl.types import ClientUpdate, FLClient
+from ..nn.model import CellModel
+from ..nn.param_ops import ParamTree
+from .aggregator import ModelAggregator
+from .client_manager import ClientManager, SimilarityCache
+from .config import FedTransConfig
+from .transformer import ModelTransformer
+
+__all__ = ["FedTransStrategy"]
+
+
+class FedTransStrategy(Strategy):
+    """The FedTrans multi-model training runtime."""
+
+    name = "fedtrans"
+
+    def __init__(
+        self,
+        initial_model: CellModel,
+        config: FedTransConfig,
+        max_capacity_macs: float,
+        server_opt_factory=None,
+    ):
+        if initial_model.macs() > max_capacity_macs:
+            raise ValueError(
+                "initial model exceeds the fleet's maximum capacity; the paper "
+                "sizes it to the *least* capable client"
+            )
+        self.config = config
+        self.sim_cache = SimilarityCache()
+        self.client_manager = ClientManager(self.sim_cache)
+        self.aggregator = ModelAggregator(config, self.sim_cache, server_opt_factory)
+        self.transformer = ModelTransformer(config, max_capacity_macs)
+        self._models: dict[str, CellModel] = {initial_model.model_id: initial_model}
+        self._birth_order: list[str] = [initial_model.model_id]
+
+    # ------------------------------------------------------------------
+    # Strategy interface
+    # ------------------------------------------------------------------
+    def models(self) -> dict[str, CellModel]:
+        return dict(self._models)
+
+    @property
+    def frontier(self) -> CellModel:
+        """The newest (largest) model — the transformation target."""
+        return self._models[self._birth_order[-1]]
+
+    def assign(
+        self,
+        round_idx: int,
+        participants: list[FLClient],
+        rng: np.random.Generator,
+    ) -> dict[int, list[str]]:
+        out: dict[int, list[str]] = {}
+        for client in participants:
+            compatible = self.compatible_models(client)
+            out[client.client_id] = [
+                self.client_manager.sample_model(client.client_id, compatible, rng)
+            ]
+        return out
+
+    def aggregate(
+        self,
+        round_idx: int,
+        updates: list[ClientUpdate],
+        rng: np.random.Generator,
+    ) -> list[str]:
+        events: list[str] = []
+        # l.11 — joint utility learning from this round's losses.
+        self.client_manager.update(updates, self._models)
+        # l.13 — inter-model weight aggregation.
+        self.aggregator.aggregate(self._models, self._birth_order, updates, round_idx)
+        # l.15 — convergence + activeness feedback for the frontier model.
+        frontier = self.frontier
+        mean_loss = float(np.mean([u.train_loss for u in updates]))
+        agg_grad = self._aggregate_gradient(
+            [u for u in updates if u.model_id == frontier.model_id]
+        )
+        self.transformer.observe_round(frontier, mean_loss, agg_grad)
+        # l.16-22 — transformation.
+        if self.transformer.should_transform(len(self._models)):
+            child, ev = self.transformer.transform(frontier, rng, round_idx)
+            events.extend(ev)
+            if child is not None:
+                self._models[child.model_id] = child
+                self._birth_order.append(child.model_id)
+                self.client_manager.register_model(child.model_id, frontier.model_id)
+                events.append(
+                    f"spawned {child.model_id} from {frontier.model_id} "
+                    f"(macs {frontier.macs():,} -> {child.macs():,})"
+                )
+        return events
+
+    def eval_model_for(self, client: FLClient) -> str:
+        compatible = self.compatible_models(client)
+        return self.client_manager.best_model(client.client_id, compatible)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _aggregate_gradient(updates: list[ClientUpdate]) -> ParamTree | None:
+        """Sample-weighted mean of participant gradients (privacy: aggregate only)."""
+        if not updates:
+            return None
+        total = float(sum(u.num_samples for u in updates))
+        out: ParamTree = {}
+        for u in updates:
+            w = u.num_samples / total
+            for k, g in u.grad.items():
+                if k in out:
+                    out[k] += w * g
+                else:
+                    out[k] = w * g
+        return out
+
+    # ------------------------------------------------------------------
+    def suite_summary(self) -> str:
+        """Human-readable description of the current model suite."""
+        lines = [f"FedTrans suite: {len(self._models)} models"]
+        for mid in self._birth_order:
+            m = self._models[mid]
+            lines.append(
+                f"  {mid}: macs={m.macs():,} params={m.num_params():,} "
+                f"cells={len(m.cells)} born=r{m.birth_round}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Architectural similarity between models of one transformation family (§4.2).
+
+The paper measures similarity "in terms of the Cell-wise number of
+parameters that we can transform".  For each cell ``l`` of the reference
+model, the matching degree ``mc(l)`` against another model is:
+
+(a) ``1``                            — inherited unchanged;
+(b) ``#param(l') / #param(l)``       — widened from cell ``l'`` (the portion
+                                       of inherited weights);
+(c) ``0``                            — inserted by a deepen (no inherited
+                                       weights);
+(d) ``-1``                           — a cell that *lost* its parent weights
+                                       (cannot arise from widen/deepen, kept
+                                       for API completeness).
+
+``sim(M_i, M_j)`` cumulates the per-cell degrees; we normalize by the
+reference model's cell count and clip at 0 so that ``sim ∈ [0, 1]`` as the
+paper requires, with ``sim(M, M) = 1``.
+
+Because widening preserves a cell's ``cell_id`` and deepening mints fresh
+ids, matching is an exact id lookup — no graph alignment needed.
+"""
+
+from __future__ import annotations
+
+from ..nn.model import CellModel
+
+__all__ = ["cell_matching_degree", "model_similarity"]
+
+
+def cell_matching_degree(ref_cell, other: CellModel) -> float:
+    """Matching degree of ``ref_cell`` against model ``other`` (cases a-d)."""
+    try:
+        counterpart = other.get_cell(ref_cell.cell_id)
+    except KeyError:
+        # The cell exists only on the reference side: it was inserted after
+        # the two models diverged -> case (c).
+        return 0.0
+    p_ref = ref_cell.num_params()
+    p_other = counterpart.num_params()
+    if p_ref == p_other:
+        return 1.0  # case (a)
+    # case (b): widened one way or the other; the inherited portion is the
+    # smaller parameter count over the larger.
+    return min(p_ref, p_other) / max(p_ref, p_other)
+
+
+def model_similarity(src: CellModel, dst: CellModel) -> float:
+    """``sim(src, dst)`` — how much of ``dst``'s architecture ``src`` covers.
+
+    Evaluated over ``dst``'s cells (the model *receiving* information in
+    Eqs. 4-5), normalized to [0, 1].
+    """
+    if src.model_id == dst.model_id:
+        return 1.0
+    degrees = [cell_matching_degree(cell, src) for cell in dst.cells]
+    if not degrees:
+        return 0.0
+    value = sum(degrees) / len(degrees)
+    return max(0.0, min(1.0, value))

@@ -1,0 +1,188 @@
+"""Procedural classification tasks standing in for the paper's datasets.
+
+The offline environment has no FEMNIST/CIFAR-10/Speech-Commands/OpenImage
+downloads, so we synthesize tasks with the properties FedTrans actually
+exercises (see DESIGN.md §2):
+
+* **learnable but capacity-limited** — inputs are a *nonlinear teacher warp*
+  of Gaussian class mixtures, so wider/deeper student models achieve higher
+  accuracy and model complexity genuinely matters (Fig. 1b's premise);
+* **client heterogeneity** — each client adds its own feature drift and has
+  its own label distribution (injected by the partitioners), so per-client
+  accuracy varies and personalization is meaningful;
+* **image or flat layouts** — features can be emitted flat (``(F,)``) for
+  MLP substrates or reshaped + spatially smoothed into ``(C, H, W)`` images
+  with local correlations for conv substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SyntheticTaskConfig", "SyntheticTask"]
+
+
+@dataclass(frozen=True)
+class SyntheticTaskConfig:
+    """Parameters of one synthetic classification task family.
+
+    Attributes
+    ----------
+    num_classes:
+        Label cardinality (62 for the FEMNIST-like task, etc.).
+    input_shape:
+        ``(F,)`` for flat features or ``(C, H, W)`` for images.
+    latent_dim:
+        Dimensionality of the class-mixture latent space.
+    teacher_width:
+        Hidden width of the random nonlinear teacher that warps latents into
+        observations; larger widths make the task harder for small students.
+    class_sep:
+        Scale of the class prototype spread; larger is easier.
+    within_class_std:
+        Latent within-class standard deviation.
+    feature_noise:
+        Observation noise added after the teacher warp.
+    drift_std:
+        Standard deviation of per-client feature drift (client non-IID-ness
+        beyond label skew).
+    complexity_mix:
+        Strength of *per-client task-complexity heterogeneity*.  Each client
+        carries a complexity level ``c in [0, 1]``; its effective task
+        hardness is ``h = 1 - complexity_mix·(1 - c)`` and observations are
+        ``(1-h)·linear(z) + h·teacher(z)``.  At 0 every client sees the full
+        nonlinear teacher task (capacity helps all clients equally); at 1,
+        hardness equals the client's own complexity level — simple clients
+        get near-linear tasks a small model fits, complex clients need
+        capacity.
+    seed:
+        Seed for the task-level randomness (prototypes, teacher weights).
+    """
+
+    num_classes: int
+    input_shape: tuple[int, ...]
+    latent_dim: int = 16
+    teacher_width: int = 32
+    class_sep: float = 3.0
+    within_class_std: float = 1.0
+    feature_noise: float = 0.3
+    drift_std: float = 0.5
+    complexity_mix: float = 0.0
+    seed: int = 0
+
+    @property
+    def num_features(self) -> int:
+        return int(np.prod(self.input_shape))
+
+
+def _smooth_images(x: np.ndarray, shape: tuple[int, int, int]) -> np.ndarray:
+    """Reshape flat features to images and apply a 3x3 box blur.
+
+    The blur creates the local spatial correlations conv models exploit; a
+    plain reshape of white-ish features would make convolution pointless.
+    """
+    c, h, w = shape
+    imgs = x.reshape(-1, c, h, w)
+    padded = np.pad(imgs, ((0, 0), (0, 0), (1, 1), (1, 1)), mode="edge")
+    out = np.zeros_like(imgs)
+    for di in range(3):
+        for dj in range(3):
+            out += padded[:, :, di : di + h, dj : dj + w]
+    return out / 9.0
+
+
+@dataclass
+class SyntheticTask:
+    """A sampler bound to one :class:`SyntheticTaskConfig`.
+
+    Class prototypes and the teacher network are fixed at construction from
+    ``config.seed``; per-sample randomness comes from the generator passed to
+    :meth:`sample`, so distinct clients draw i.i.d. conditional on their
+    class mix and drift.
+    """
+
+    config: SyntheticTaskConfig
+    _prototypes: np.ndarray = field(init=False, repr=False)
+    _w1: np.ndarray = field(init=False, repr=False)
+    _w2: np.ndarray = field(init=False, repr=False)
+    _w_linear: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self._prototypes = rng.normal(0.0, cfg.class_sep, (cfg.num_classes, cfg.latent_dim))
+        self._w1 = rng.normal(0.0, 1.0 / np.sqrt(cfg.latent_dim), (cfg.latent_dim, cfg.teacher_width))
+        self._w2 = rng.normal(
+            0.0, 1.0 / np.sqrt(cfg.teacher_width), (cfg.teacher_width, cfg.num_features)
+        )
+        # The "easy" observation map used by low-complexity clients.
+        self._w_linear = rng.normal(
+            0.0, 1.0 / np.sqrt(cfg.latent_dim), (cfg.latent_dim, cfg.num_features)
+        )
+
+    def sample(
+        self,
+        class_counts: np.ndarray,
+        rng: np.random.Generator,
+        drift: np.ndarray | None = None,
+        complexity: float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw a labelled sample set.
+
+        Parameters
+        ----------
+        class_counts:
+            ``(num_classes,)`` integer counts per class.
+        rng:
+            Per-client generator.
+        drift:
+            Optional ``(num_features,)`` client-specific feature offset.
+        complexity:
+            This client's task-complexity level in [0, 1]; blended with
+            ``config.complexity_mix`` (see :class:`SyntheticTaskConfig`).
+
+        Returns
+        -------
+        x, y:
+            Shuffled features (``input_shape``-shaped) and integer labels.
+        """
+        cfg = self.config
+        class_counts = np.asarray(class_counts, dtype=int)
+        if class_counts.shape != (cfg.num_classes,):
+            raise ValueError(
+                f"class_counts must have shape ({cfg.num_classes},), got {class_counts.shape}"
+            )
+        if not 0.0 <= complexity <= 1.0:
+            raise ValueError("complexity must lie in [0, 1]")
+        total = int(class_counts.sum())
+        if total == 0:
+            raise ValueError("cannot sample an empty dataset")
+        y = np.repeat(np.arange(cfg.num_classes), class_counts)
+        z = self._prototypes[y] + rng.normal(0.0, cfg.within_class_std, (total, cfg.latent_dim))
+        hard = np.tanh(z @ self._w1) @ self._w2
+        hardness = 1.0 - cfg.complexity_mix * (1.0 - complexity)
+        if hardness < 1.0:
+            easy = z @ self._w_linear
+            x = (1.0 - hardness) * easy + hardness * hard
+        else:
+            x = hard
+        x += rng.normal(0.0, cfg.feature_noise, x.shape)
+        if drift is not None:
+            x += drift
+        perm = rng.permutation(total)
+        x, y = x[perm], y[perm]
+        if len(cfg.input_shape) == 3:
+            x = _smooth_images(x, cfg.input_shape)  # type: ignore[arg-type]
+        else:
+            x = x.reshape(total, *cfg.input_shape)
+        return x, y
+
+    def sample_drift(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one client's feature-drift vector."""
+        return rng.normal(0.0, self.config.drift_std, self.config.num_features)
+
+    def sample_complexity(self, rng: np.random.Generator) -> float:
+        """Draw one client's task-complexity level (uniform in [0, 1])."""
+        return float(rng.uniform(0.0, 1.0))

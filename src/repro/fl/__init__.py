@@ -1,0 +1,29 @@
+"""Federated-learning simulation engine: clients, strategies, coordinator."""
+
+from .client import LocalTrainer, LocalTrainerConfig
+from .coordinator import Coordinator, CoordinatorConfig
+from .export import load_log, log_to_dict, save_log
+from .metrics import RunSummary, iqr, summarize
+from .selection import select_uniform
+from .strategy import Strategy
+from .types import ClientUpdate, EvalRecord, FLClient, RoundRecord, TrainingLog
+
+__all__ = [
+    "LocalTrainer",
+    "LocalTrainerConfig",
+    "Coordinator",
+    "CoordinatorConfig",
+    "load_log",
+    "log_to_dict",
+    "save_log",
+    "RunSummary",
+    "iqr",
+    "summarize",
+    "select_uniform",
+    "Strategy",
+    "ClientUpdate",
+    "EvalRecord",
+    "FLClient",
+    "RoundRecord",
+    "TrainingLog",
+]

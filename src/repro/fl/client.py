@@ -1,0 +1,107 @@
+"""Client-side local training.
+
+Implements the per-participant step of Algorithm 1 (``ClientTrain``):
+mini-batch SGD for ``local_steps`` steps on the client's data, returning
+the trained weights, the mean gradient (FedTrans's activeness signal), the
+mean training loss, and cost accounting.
+
+Supports the FedProx proximal term (μ/2·‖w − w_global‖²) so FedProx and
+"FedTrans + FedProx" (Fig. 8) share this code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.latency import client_round_time
+from ..nn.model import CellModel
+from ..nn.optim import SGD
+from .types import ClientUpdate, FLClient
+
+__all__ = ["LocalTrainerConfig", "LocalTrainer"]
+
+
+@dataclass(frozen=True)
+class LocalTrainerConfig:
+    """Hyperparameters of local training (paper Table 7 defaults)."""
+
+    batch_size: int = 10
+    local_steps: int = 20
+    lr: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    prox_mu: float = 0.0  # FedProx proximal coefficient; 0 disables
+    clip_norm: float = 10.0  # global gradient-norm clip per step; 0 disables
+
+
+class LocalTrainer:
+    """Runs local training rounds for participants."""
+
+    def __init__(self, config: LocalTrainerConfig):
+        self.config = config
+
+    def train(
+        self,
+        model: CellModel,
+        client: FLClient,
+        rng: np.random.Generator,
+    ) -> ClientUpdate:
+        """Train ``model`` in place on ``client``'s data; return the update.
+
+        ``model`` must be a private copy (the coordinator clones the server
+        model per participant, as synchronous FL starts every participant
+        from identical weights).
+        """
+        cfg = self.config
+        x, y = client.data.x_train, client.data.y_train
+        n = len(y)
+        if n == 0:
+            raise ValueError(f"client {client.client_id} has no training data")
+        opt = SGD(cfg.lr, cfg.momentum, cfg.weight_decay)
+        global_params = {k: v.copy() for k, v in model.params().items()} if cfg.prox_mu else None
+
+        grad_sum: dict[str, np.ndarray] | None = None
+        losses = []
+        for _ in range(cfg.local_steps):
+            idx = rng.integers(0, n, size=min(cfg.batch_size, n))
+            model.zero_grad()
+            losses.append(model.loss_and_grad(x[idx], y[idx]))
+            grads = model.grads()
+            params = model.params()
+            if cfg.clip_norm:
+                gnorm = np.sqrt(sum(float((g**2).sum()) for g in grads.values()))
+                if gnorm > cfg.clip_norm:
+                    scale = cfg.clip_norm / gnorm
+                    grads = {k: g * scale for k, g in grads.items()}
+            if cfg.prox_mu:
+                for k in grads:
+                    grads[k] = grads[k] + cfg.prox_mu * (params[k] - global_params[k])
+            if grad_sum is None:
+                grad_sum = {k: g.copy() for k, g in grads.items()}
+            else:
+                for k, g in grads.items():
+                    grad_sum[k] += g
+            opt.step(params, grads)
+
+        mean_grad = {k: g / cfg.local_steps for k, g in grad_sum.items()}
+        samples_seen = cfg.local_steps * min(cfg.batch_size, n)
+        macs = float(model.train_macs_per_sample()) * samples_seen
+        nbytes = model.nbytes()
+        rt = client_round_time(
+            client.device, model.macs(), nbytes, min(cfg.batch_size, n), cfg.local_steps
+        )
+        return ClientUpdate(
+            client_id=client.client_id,
+            model_id=model.model_id,
+            params=model.get_params(),
+            state=model.get_state(),
+            grad=mean_grad,
+            train_loss=float(np.mean(losses)),
+            num_samples=n,
+            macs_spent=macs,
+            bytes_down=nbytes,
+            bytes_up=nbytes,
+            round_time=rt,
+        )

@@ -1,0 +1,73 @@
+"""Export finished runs to JSON for downstream analysis / plotting.
+
+``log_to_dict`` flattens a :class:`~repro.fl.types.TrainingLog` into plain
+Python types (lists, floats); ``save_log``/``load_log`` round-trip it
+through a JSON file.  The export carries everything the paper's figures
+plot: per-round costs and events, per-eval client-accuracy vectors, and the
+headline metrics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import summarize
+from .types import TrainingLog
+
+__all__ = ["log_to_dict", "save_log", "load_log"]
+
+
+def log_to_dict(log: TrainingLog) -> dict:
+    """JSON-serializable view of a training log."""
+    return {
+        "format": 1,
+        "strategy": log.strategy,
+        "summary": summarize(log).row(),
+        "stop_reason": log.stop_reason,
+        "stopped_round": log.stopped_round,
+        "totals": {
+            "macs": log.total_macs,
+            "bytes_down": log.total_bytes_down,
+            "bytes_up": log.total_bytes_up,
+            "peak_storage_bytes": log.peak_storage_bytes,
+        },
+        "rounds": [
+            {
+                "round": r.round_idx,
+                "participants": list(r.participants),
+                "assignments": {str(k): list(v) for k, v in r.assignments.items()},
+                "mean_loss": r.mean_loss,
+                "macs": r.macs,
+                "round_time": r.round_time,
+                "num_models": r.num_models,
+                "events": list(r.events),
+            }
+            for r in log.rounds
+        ],
+        "evals": [
+            {
+                "round": e.round_idx,
+                "cumulative_macs": e.cumulative_macs,
+                "mean_accuracy": e.mean_accuracy,
+                "client_accuracy": [float(a) for a in e.client_accuracy],
+                "client_model": list(e.client_model),
+            }
+            for e in log.evals
+        ],
+    }
+
+
+def save_log(log: TrainingLog, path: str | Path) -> None:
+    """Write a run's JSON export to disk."""
+    with open(path, "w") as f:
+        json.dump(log_to_dict(log), f, indent=1)
+
+
+def load_log(path: str | Path) -> dict:
+    """Read back a saved run (as a plain dict; logs are write-once)."""
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("format") != 1:
+        raise ValueError(f"unsupported log format {data.get('format')!r}")
+    return data

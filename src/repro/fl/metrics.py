@@ -1,0 +1,65 @@
+"""Evaluation metrics and summary helpers for finished runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .types import TrainingLog
+
+__all__ = ["RunSummary", "summarize", "iqr"]
+
+
+def iqr(values: np.ndarray) -> float:
+    """Interquartile range."""
+    q75, q25 = np.percentile(values, [75, 25])
+    return float(q75 - q25)
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The Table 2 row for one (method, dataset) run."""
+
+    strategy: str
+    accuracy: float  # mean final client accuracy, percent
+    accuracy_iqr: float  # IQR of client accuracies, percent
+    cost_pmacs: float  # total training MACs / 1e15
+    storage_mb: float  # peak server storage
+    network_mb: float  # total down+up transfer
+    round_time_mean: float  # seconds (Table 6)
+    round_time_std: float
+    num_models: int
+    rounds_run: int
+
+    def row(self) -> dict[str, float | str | int]:
+        return {
+            "method": self.strategy,
+            "accuracy_pct": round(self.accuracy * 100, 2),
+            "iqr_pct": round(self.accuracy_iqr * 100, 2),
+            "cost_pmacs": self.cost_pmacs,
+            "storage_mb": round(self.storage_mb, 3),
+            "network_mb": round(self.network_mb, 1),
+            "round_time_mean_s": round(self.round_time_mean, 2),
+            "round_time_std_s": round(self.round_time_std, 2),
+            "num_models": self.num_models,
+            "rounds": self.rounds_run,
+        }
+
+
+def summarize(log: TrainingLog) -> RunSummary:
+    """Collapse a training log into the paper's headline metrics."""
+    final = log.final_eval()
+    times = log.round_times()
+    return RunSummary(
+        strategy=log.strategy,
+        accuracy=float(final.mean_accuracy),
+        accuracy_iqr=iqr(final.client_accuracy),
+        cost_pmacs=log.pmacs(),
+        storage_mb=log.storage_mb(),
+        network_mb=log.network_mb(),
+        round_time_mean=float(times.mean()) if len(times) else 0.0,
+        round_time_std=float(times.std()) if len(times) else 0.0,
+        num_models=log.rounds[-1].num_models if log.rounds else 1,
+        rounds_run=len(log.rounds),
+    )

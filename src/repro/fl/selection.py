@@ -1,0 +1,20 @@
+"""Client selection policies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import FLClient
+
+__all__ = ["select_uniform"]
+
+
+def select_uniform(
+    clients: list[FLClient], num: int, rng: np.random.Generator
+) -> list[FLClient]:
+    """Uniform random selection without replacement (Algorithm 1's Select)."""
+    if not clients:
+        raise ValueError("no registered clients")
+    num = min(num, len(clients))
+    idx = rng.choice(len(clients), size=num, replace=False)
+    return [clients[i] for i in idx]

@@ -1,0 +1,93 @@
+"""The Strategy interface: what a server-side FL algorithm must provide.
+
+A strategy owns the model suite, decides which model(s) each participant
+trains (``assign`` — SplitMix ships several base nets per client, everyone
+else exactly one), merges returned updates (``aggregate``), and defines how
+a client is *evaluated* (``client_logits``; by default the single deployed
+model named by ``eval_model_for`` — the paper evaluates "each client only
+on its compatible models and assign[s] it the model with the highest
+utility").
+
+FedTrans and every baseline implement this interface, so the coordinator,
+cost accounting, and bench harness are shared across all methods.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..nn.model import CellModel
+from .types import ClientUpdate, FLClient
+
+__all__ = ["Strategy"]
+
+
+class Strategy(ABC):
+    """Server-side algorithm driving a multi- (or single-) model FL run."""
+
+    name: str = "strategy"
+
+    @abstractmethod
+    def models(self) -> dict[str, CellModel]:
+        """Live server models, keyed by model id."""
+
+    @abstractmethod
+    def assign(
+        self,
+        round_idx: int,
+        participants: list[FLClient],
+        rng: np.random.Generator,
+    ) -> dict[int, list[str]]:
+        """Model id(s) every participant trains this round."""
+
+    @abstractmethod
+    def aggregate(
+        self,
+        round_idx: int,
+        updates: list[ClientUpdate],
+        rng: np.random.Generator,
+    ) -> list[str]:
+        """Merge client updates into the server models.
+
+        Returns human-readable event strings (e.g. transformations) for the
+        round log.
+        """
+
+    @abstractmethod
+    def eval_model_for(self, client: FLClient) -> str:
+        """Model id this client deploys (used by the default evaluation)."""
+
+    # ------------------------------------------------------------------
+    # evaluation hook
+    # ------------------------------------------------------------------
+    def client_logits(self, client: FLClient, x: np.ndarray) -> np.ndarray:
+        """Logits the client's deployment produces on ``x``.
+
+        Default: the single model from :meth:`eval_model_for`.  Ensemble
+        methods (SplitMix) override this.
+        """
+        model = self.models()[self.eval_model_for(client)]
+        return model.predict(x)
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def compatible_models(self, client: FLClient) -> list[str]:
+        """Model ids whose complexity fits the client's budget (MAC(M) <= T_c).
+
+        Falls back to the single cheapest model when a client is too weak
+        for every model — the paper guarantees this cannot happen by
+        construction (initial model == weakest client), but bench configs
+        may be looser.
+        """
+        models = self.models()
+        fits = [mid for mid, m in models.items() if m.macs() <= client.capacity_macs]
+        if not fits:
+            fits = [min(models, key=lambda mid: models[mid].macs())]
+        return fits
+
+    def storage_bytes(self) -> int:
+        """Server-side storage footprint of the whole model suite."""
+        return sum(m.nbytes() for m in self.models().values())

@@ -1,0 +1,129 @@
+"""Core datatypes shared across the FL engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.federated import ClientData
+from ..device.traces import DeviceTrace
+from ..nn.param_ops import ParamTree
+
+__all__ = ["FLClient", "ClientUpdate", "RoundRecord", "EvalRecord", "TrainingLog"]
+
+
+@dataclass
+class FLClient:
+    """A registered FL client: local data plus device capabilities."""
+
+    client_id: int
+    data: ClientData
+    device: DeviceTrace
+
+    @property
+    def capacity_macs(self) -> float:
+        """The hardware budget T_c used for compatible-model filtering."""
+        return self.device.capacity_macs
+
+
+@dataclass
+class ClientUpdate:
+    """What one participant returns to the coordinator after local training.
+
+    Matches Algorithm 1's ``ClientTrain`` outputs: weights ``W``, gradients
+    ``G`` (the mean of per-step gradients), and loss ``L`` — plus the cost
+    accounting the evaluation needs.
+    """
+
+    client_id: int
+    model_id: str
+    params: ParamTree
+    state: ParamTree
+    grad: ParamTree
+    train_loss: float
+    num_samples: int
+    macs_spent: float
+    bytes_down: int
+    bytes_up: int
+    round_time: float
+
+
+@dataclass
+class RoundRecord:
+    """Per-round bookkeeping."""
+
+    round_idx: int
+    participants: list[int]
+    assignments: dict[int, list[str]]
+    mean_loss: float
+    macs: float
+    bytes_down: int
+    bytes_up: int
+    round_time: float
+    num_models: int
+    events: list[str] = field(default_factory=list)
+
+
+@dataclass
+class EvalRecord:
+    """One evaluation sweep over every registered client."""
+
+    round_idx: int
+    cumulative_macs: float
+    client_accuracy: np.ndarray  # (num_clients,)
+    client_model: list[str]  # model evaluated per client
+    mean_accuracy: float
+
+
+@dataclass
+class TrainingLog:
+    """Everything a finished run reports; feeds every table and figure."""
+
+    strategy: str
+    rounds: list[RoundRecord] = field(default_factory=list)
+    evals: list[EvalRecord] = field(default_factory=list)
+    total_macs: float = 0.0
+    total_bytes_down: int = 0
+    total_bytes_up: int = 0
+    peak_storage_bytes: int = 0
+    stopped_round: int = 0
+    stop_reason: str = "budget"
+
+    # ---- headline metrics -------------------------------------------------
+    def final_eval(self) -> EvalRecord:
+        if not self.evals:
+            raise ValueError("run produced no evaluations")
+        return self.evals[-1]
+
+    def best_eval(self) -> EvalRecord:
+        """Evaluation with the best mean accuracy (paper reports converged acc)."""
+        return max(self.evals, key=lambda e: e.mean_accuracy)
+
+    def final_accuracy(self) -> float:
+        return self.final_eval().mean_accuracy
+
+    def accuracy_iqr(self) -> float:
+        """Interquartile range of per-client accuracy (Table 2's IQR column)."""
+        acc = self.final_eval().client_accuracy
+        q75, q25 = np.percentile(acc, [75, 25])
+        return float(q75 - q25)
+
+    def network_mb(self) -> float:
+        return (self.total_bytes_down + self.total_bytes_up) / 1e6
+
+    def storage_mb(self) -> float:
+        return self.peak_storage_bytes / 1e6
+
+    def pmacs(self) -> float:
+        """Total training cost in peta-MACs (Table 2's Cost column)."""
+        return self.total_macs / 1e15
+
+    def round_times(self) -> np.ndarray:
+        return np.array([r.round_time for r in self.rounds])
+
+    def cost_accuracy_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(cumulative MACs, mean accuracy) series — Fig. 7's axes."""
+        xs = np.array([e.cumulative_macs for e in self.evals])
+        ys = np.array([e.mean_accuracy for e in self.evals])
+        return xs, ys

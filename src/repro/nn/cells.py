@@ -1,0 +1,1070 @@
+"""The Cell abstraction: minimal transformable model-architecture blocks.
+
+FedTrans (§3) performs every model transformation at the granularity of a
+*Cell* — "the minimum component of the model architecture (e.g., a
+convolution layer or a ResNet block)".  A model is an ordered list of cells
+(:class:`repro.nn.model.CellModel`); widening and deepening rewrite cells
+in a function-preserving way (Net2Net / network-morphism style):
+
+* **widen** — output channels (or an internal hidden width) are duplicated by
+  a random mapping that keeps the original channels first; the consumer of
+  those channels divides the duplicated columns by their multiplicity so the
+  pre- and post-widen models compute the same function.
+* **deepen** — an identity cell is inserted.  Identity conv/dense cells carry
+  exact identity weights (valid because cell outputs pass through ReLU, and
+  ``relu(identity(x)) == x`` for ``x >= 0``); identity ViT cells zero their
+  residual-branch output projections.
+
+Each cell carries lineage metadata (``cell_id``, ``origin``, ``widen_count``,
+``last_op``) used by FedTrans's architectural-similarity measure (§4.2) and
+by the alternating widen/deepen control flow (Fig. 5).
+
+Design notes recorded in DESIGN.md:
+
+* Inserted identity cells are norm-free — a train-mode BatchNorm cannot be an
+  exact identity on unseen batch statistics.
+* Dense cells use no LayerNorm: normalizing across features breaks the
+  function-preservation of channel duplication (BatchNorm, being
+  per-channel, is safe and is kept in conv cells).
+* Residual and ViT cells widen *internally* (hidden width), keeping their
+  external interface fixed; plain conv/dense cells widen their output
+  channels and propagate an expansion to the next cell.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Literal
+
+import numpy as np
+
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dense,
+    GELU,
+    GlobalAvgPool2d,
+    Layer,
+    LayerNorm,
+    MaxPool2d,
+    ReLU,
+)
+from .attention import MultiHeadSelfAttention, PatchEmbed
+from .init import identity_conv_kernel, identity_dense
+
+__all__ = [
+    "Cell",
+    "ConvCell",
+    "ResidualConvCell",
+    "DenseCell",
+    "ViTCell",
+    "ViTStemCell",
+    "ConvClassifierCell",
+    "FlatClassifierCell",
+    "TokenClassifierCell",
+    "WidenMapping",
+    "make_widen_mapping",
+]
+
+Interface = Literal["chw", "flat", "tokens"]
+
+_id_counter = itertools.count()
+
+
+def _new_cell_id(prefix: str) -> str:
+    """Monotonic, human-readable, process-unique cell identifier."""
+    return f"{prefix}{next(_id_counter):04d}"
+
+
+class WidenMapping:
+    """Result of widening a channel axis.
+
+    Two function-preserving schemes share this record:
+
+    * ``zero_new=False`` (Net2Net duplication, the paper's stated rule):
+      ``mapping[j]`` is the source channel replicated into new channel
+      ``j``; consumers divide duplicated input columns by the source's
+      multiplicity so the composite function is unchanged.
+    * ``zero_new=True`` (zero-expansion): new channels carry fresh random
+      incoming weights while the consumer's new input columns start at
+      zero, so the new pathway contributes nothing initially — also exactly
+      function-preserving, but free of the duplicate-symmetry problem
+      (identical twins receive no first-order force pulling them apart, so
+      duplicated capacity can stay collapsed for a long time).
+    """
+
+    def __init__(self, mapping: np.ndarray, old_width: int, zero_new: bool = False):
+        self.mapping = mapping
+        self.old_width = old_width
+        self.new_width = len(mapping)
+        self.counts = np.bincount(mapping, minlength=old_width)
+        self.zero_new = zero_new
+
+    def scale_for_consumer(self) -> np.ndarray:
+        """Per-new-channel divisor for the consuming layer (duplication)."""
+        return self.counts[self.mapping].astype(np.float64)
+
+
+def make_widen_mapping(
+    old_width: int, factor: float, rng: np.random.Generator, mode: str = "dup"
+) -> WidenMapping:
+    """Build a widening map that keeps original channels first.
+
+    The new width is ``ceil(old * factor)`` and must strictly exceed the old
+    width.  With ``mode="dup"`` extra channels are uniform random duplicates
+    of existing ones, exactly the paper's "randomly select columns from the
+    pre-expanded Cell's weights" rule; ``mode="zero"`` marks the extra
+    channels as fresh zero-outgoing pathways (see :class:`WidenMapping`).
+    """
+    if factor <= 1.0:
+        raise ValueError(f"widen factor must exceed 1.0, got {factor}")
+    if mode not in ("dup", "zero"):
+        raise ValueError(f"unknown widen mode {mode!r}")
+    new_width = int(np.ceil(old_width * factor))
+    if new_width <= old_width:
+        new_width = old_width + 1
+    extra = rng.integers(0, old_width, size=new_width - old_width)
+    return WidenMapping(
+        np.concatenate([np.arange(old_width), extra]), old_width, zero_new=mode == "zero"
+    )
+
+
+def _grow_axis(
+    arr: np.ndarray,
+    wm: WidenMapping,
+    axis: int,
+    rng: np.random.Generator,
+    noise: float,
+    fresh_std: float | None = None,
+) -> np.ndarray:
+    """Widened-cell tensor growth along ``axis`` (incoming side).
+
+    Duplication mode gathers by the mapping and perturbs the duplicates;
+    zero mode appends fresh random channels (std ``fresh_std``, defaulting
+    to the tensor's own std).
+    """
+    if wm.zero_new:
+        shape = list(arr.shape)
+        shape[axis] = wm.new_width - wm.old_width
+        std = fresh_std if fresh_std is not None else max(float(arr.std()), 1e-8)
+        extra = rng.normal(0.0, std, shape)
+        return np.concatenate([arr, extra], axis=axis)
+    out = _dup_axis(arr, wm.mapping, axis)
+    _break_symmetry(out, axis, wm.old_width, noise, rng)
+    return out
+
+
+def _grow_axis_fill(arr: np.ndarray, wm: WidenMapping, axis: int, fill: float) -> np.ndarray:
+    """Per-channel vectors (bias, BN rows): duplicate, or append ``fill``."""
+    if wm.zero_new:
+        shape = list(arr.shape)
+        shape[axis] = wm.new_width - wm.old_width
+        return np.concatenate([arr, np.full(shape, fill)], axis=axis)
+    return _dup_axis(arr, wm.mapping, axis)
+
+
+def _expand_consumer_axis(
+    arr: np.ndarray,
+    wm: WidenMapping,
+    axis: int,
+    rng: np.random.Generator | None = None,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """Consumer-side input expansion along ``axis``.
+
+    Duplication mode divides the duplicated columns by their multiplicity
+    (function preservation) and optionally perturbs them (symmetry
+    breaking); zero mode appends zero columns so the new pathway starts
+    silent.
+    """
+    if wm.zero_new:
+        shape = list(arr.shape)
+        shape[axis] = wm.new_width - wm.old_width
+        return np.concatenate([arr, np.zeros(shape)], axis=axis)
+    out = _dup_axis(arr, wm.mapping, axis)
+    scale_shape = [1] * arr.ndim
+    scale_shape[axis] = wm.new_width
+    out = out / wm.scale_for_consumer().reshape(scale_shape)
+    if rng is not None:
+        _break_symmetry(out, axis, wm.old_width, noise, rng)
+    return out
+
+
+class Cell:
+    """Base class for model cells.
+
+    Subclasses implement forward/backward and the structural-transform
+    primitives they support.  ``in_interface``/``out_interface`` describe the
+    activation layout so :class:`~repro.nn.model.CellModel` can validate the
+    chain and pick the right identity cell type when deepening.
+    """
+
+    kind: str = "cell"
+    in_interface: Interface = "chw"
+    out_interface: Interface = "chw"
+    transformable: bool = True
+    can_widen_output: bool = False
+    can_widen_internal: bool = False
+
+    def __init__(self, cell_id: str | None = None, origin: str = "root"):
+        self.cell_id = cell_id or _new_cell_id("c")
+        self.origin = origin  # 'root' | 'inserted'
+        self.widen_count = 0
+        self.last_op: str | None = None  # 'widen' | 'deepen' | None
+
+    # -- execution ---------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _named_layers(self) -> list[tuple[str, Layer]]:
+        raise NotImplementedError
+
+    # -- parameter access ----------------------------------------------------
+    def params(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for lname, layer in self._named_layers():
+            for pname, arr in layer.params().items():
+                out[f"{lname}.{pname}"] = arr
+        return out
+
+    def grads(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for lname, layer in self._named_layers():
+            for pname, arr in layer.grads().items():
+                out[f"{lname}.{pname}"] = arr
+        return out
+
+    def state(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for lname, layer in self._named_layers():
+            for sname, arr in layer.state().items():
+                out[f"{lname}.{sname}"] = arr
+        return out
+
+    def zero_grad(self) -> None:
+        for _, layer in self._named_layers():
+            layer.zero_grad()
+
+    def num_params(self) -> int:
+        return int(sum(v.size for v in self.params().values()))
+
+    # -- cost accounting -----------------------------------------------------
+    def macs(self, input_shape: tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+        total = 0
+        shape = input_shape
+        for _, layer in self._named_layers():
+            m, shape = layer.macs(shape)
+            total += m
+        return total, shape
+
+    # -- structural transforms ------------------------------------------------
+    def widen_output(
+        self,
+        factor: float,
+        rng: np.random.Generator,
+        noise: float = 0.0,
+        mode: str = "dup",
+    ) -> WidenMapping:
+        raise NotImplementedError(f"{self.kind} cells cannot widen their output")
+
+    def widen_internal(
+        self,
+        factor: float,
+        rng: np.random.Generator,
+        noise: float = 0.0,
+        mode: str = "dup",
+    ) -> None:
+        raise NotImplementedError(f"{self.kind} cells cannot widen internally")
+
+    def expand_input(
+        self, wm: WidenMapping, rng: np.random.Generator | None = None, noise: float = 0.0
+    ) -> None:
+        raise NotImplementedError(f"{self.kind} cells cannot expand their input")
+
+    # -- subnet extraction (HeteroFL / FLuID machinery) -------------------
+    #
+    # ``narrow`` keeps only the given channel indices.  Unlike widen/deepen
+    # it is *lossy by design* — HeteroFL-style submodels crop the global
+    # model.  ``axis_roles`` names, for each parameter tensor, which axes
+    # correspond to the cell's out / in / hidden channel dimensions so that
+    # subnet updates can be scattered back into global coordinates.
+
+    #: roles for narrowable axes: param key -> tuple of per-axis roles,
+    #: each 'out' | 'in' | 'hidden' | None (None = axis never narrowed).
+    def axis_roles(self) -> dict[str, tuple[str | None, ...]]:
+        return {}
+
+    def narrow(
+        self,
+        out_idx: np.ndarray | None = None,
+        in_idx: np.ndarray | None = None,
+        hidden_idx: np.ndarray | None = None,
+    ) -> None:
+        raise NotImplementedError(f"{self.kind} cells cannot be narrowed")
+
+    def clone(self) -> "Cell":
+        """Deep copy preserving the cell id and lineage metadata."""
+        import copy
+
+        new = copy.deepcopy(self)
+        for _, layer in new._named_layers():
+            # Drop forward caches so clones do not pin activation memory.
+            for attr in ("_cache", "_x", "_mask", "_shape"):
+                if hasattr(layer, attr):
+                    setattr(layer, attr, None)
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.cell_id} params={self.num_params()}>"
+
+
+def _dup_axis(arr: np.ndarray, mapping: np.ndarray, axis: int) -> np.ndarray:
+    """Gather ``arr`` along ``axis`` using ``mapping`` (channel duplication)."""
+    return np.take(arr, mapping, axis=axis)
+
+
+def _break_symmetry(
+    arr: np.ndarray,
+    axis: int,
+    old_width: int,
+    noise: float,
+    rng: np.random.Generator,
+) -> None:
+    """Perturb the *duplicated* channels of a widened tensor in place.
+
+    Pure Net2Net duplication leaves the new channels exactly equal to their
+    sources — identical incoming and outgoing weights mean identical
+    gradients, so the duplicates never diverge and the widened model's
+    effective capacity stays that of its parent.  Following Chen et al.
+    (Net2Net), a small noise (``noise`` x the tensor's std) on the new
+    channels breaks the symmetry; ``noise=0`` keeps the transform exactly
+    function-preserving (used by the property tests).
+    """
+    if noise <= 0.0 or arr.shape[axis] <= old_width:
+        return
+    sl = [slice(None)] * arr.ndim
+    sl[axis] = slice(old_width, None)
+    target = arr[tuple(sl)]
+    scale = noise * max(float(arr.std()), 1e-8)
+    target += rng.normal(0.0, scale, size=target.shape)
+
+
+class ConvCell(Cell):
+    """Conv -> (BatchNorm) -> ReLU -> (pool).
+
+    The workhorse cell for CNN models.  Supports output widening, input
+    expansion, and identity construction (for deepen).
+    """
+
+    kind = "conv"
+    in_interface = "chw"
+    out_interface = "chw"
+    can_widen_output = True
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: np.random.Generator,
+        kernel: int = 3,
+        stride: int = 1,
+        norm: bool = True,
+        pool: str | None = None,
+        transformable: bool = True,
+        cell_id: str | None = None,
+        origin: str = "root",
+    ):
+        super().__init__(cell_id, origin)
+        self.transformable = transformable
+        # A bias ahead of BatchNorm is redundant (BN subtracts the mean), so
+        # it exists only on norm-free cells.
+        self.conv = Conv2d(in_channels, out_channels, kernel, rng, stride=stride, bias=not norm)
+        self.bn = BatchNorm2d(out_channels) if norm else None
+        self.act = ReLU()
+        if pool is None:
+            self.pool = None
+        elif pool == "max":
+            self.pool = MaxPool2d(2)
+        elif pool == "avg":
+            self.pool = AvgPool2d(2)
+        else:
+            raise ValueError(f"unknown pool kind {pool!r}")
+        self._pool_kind = pool
+
+    @property
+    def in_dim(self) -> int:
+        return self.conv.in_channels
+
+    @property
+    def out_dim(self) -> int:
+        return self.conv.out_channels
+
+    def _named_layers(self) -> list[tuple[str, Layer]]:
+        layers: list[tuple[str, Layer]] = [("conv", self.conv)]
+        if self.bn is not None:
+            layers.append(("bn", self.bn))
+        layers.append(("act", self.act))
+        if self.pool is not None:
+            layers.append(("pool", self.pool))
+        return layers
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        for _, layer in self._named_layers():
+            x = layer.forward(x, train)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for _, layer in reversed(self._named_layers()):
+            dout = layer.backward(dout)
+        return dout
+
+    def widen_output(
+        self,
+        factor: float,
+        rng: np.random.Generator,
+        noise: float = 0.0,
+        mode: str = "dup",
+    ) -> WidenMapping:
+        wm = make_widen_mapping(self.out_dim, factor, rng, mode)
+        fan_in = self.conv.in_channels * self.conv.kernel**2
+        self.conv.w = _grow_axis(
+            self.conv.w, wm, 0, rng, noise, fresh_std=np.sqrt(2.0 / fan_in)
+        )
+        if self.conv.b is not None:
+            self.conv.b = _grow_axis_fill(self.conv.b, wm, 0, 0.0)
+        self.conv.resize_grads()
+        if self.bn is not None:
+            self.bn.gamma = _grow_axis_fill(self.bn.gamma, wm, 0, 1.0)
+            self.bn.beta = _grow_axis_fill(self.bn.beta, wm, 0, 0.0)
+            self.bn.running_mean = _grow_axis_fill(self.bn.running_mean, wm, 0, 0.0)
+            self.bn.running_var = _grow_axis_fill(self.bn.running_var, wm, 0, 1.0)
+            self.bn.resize_grads()
+        return wm
+
+    def expand_input(
+        self, wm: WidenMapping, rng: np.random.Generator | None = None, noise: float = 0.0
+    ) -> None:
+        # Duplication mode: outgoing-side symmetry breaking matters — a
+        # duplicate's incoming-weight gradient is driven by its *outgoing*
+        # columns.  Zero mode: the new columns start silent (zero).
+        self.conv.w = _expand_consumer_axis(self.conv.w, wm, 1, rng, noise)
+        self.conv.resize_grads()
+
+    def axis_roles(self) -> dict[str, tuple[str | None, ...]]:
+        roles: dict[str, tuple[str | None, ...]] = {"conv.w": ("out", "in", None, None)}
+        if self.conv.b is not None:
+            roles["conv.b"] = ("out",)
+        if self.bn is not None:
+            roles.update(
+                {
+                    "bn.gamma": ("out",),
+                    "bn.beta": ("out",),
+                    "bn.running_mean": ("out",),
+                    "bn.running_var": ("out",),
+                }
+            )
+        return roles
+
+    def narrow(self, out_idx=None, in_idx=None, hidden_idx=None) -> None:
+        if hidden_idx is not None:
+            raise ValueError("conv cells have no hidden axis")
+        if out_idx is not None:
+            self.conv.w = _dup_axis(self.conv.w, out_idx, 0)
+            if self.conv.b is not None:
+                self.conv.b = _dup_axis(self.conv.b, out_idx, 0)
+            if self.bn is not None:
+                self.bn.gamma = _dup_axis(self.bn.gamma, out_idx, 0)
+                self.bn.beta = _dup_axis(self.bn.beta, out_idx, 0)
+                self.bn.running_mean = _dup_axis(self.bn.running_mean, out_idx, 0)
+                self.bn.running_var = _dup_axis(self.bn.running_var, out_idx, 0)
+                self.bn.resize_grads()
+        if in_idx is not None:
+            self.conv.w = _dup_axis(self.conv.w, in_idx, 1)
+        self.conv.resize_grads()
+
+    @classmethod
+    def identity(cls, channels: int, kernel: int = 3) -> "ConvCell":
+        """An exact-identity conv cell (norm-free; see module docstring)."""
+        rng = np.random.default_rng(0)  # immediately overwritten below
+        cell = cls(
+            channels,
+            channels,
+            rng,
+            kernel=kernel,
+            norm=False,
+            transformable=True,
+            origin="inserted",
+        )
+        cell.conv.w = identity_conv_kernel(channels, kernel)
+        cell.conv.b = np.zeros(channels)
+        cell.conv.resize_grads()
+        return cell
+
+
+class ResidualConvCell(Cell):
+    """ResNet-style block: conv-bn-relu-conv-bn + 1x1 projection skip, relu.
+
+    The skip path always uses an explicit 1x1 projection so that input
+    expansion (after an upstream widen) has a uniform implementation.  The
+    block widens *internally* — its hidden channel count grows while the
+    external interface stays fixed.
+    """
+
+    kind = "residual"
+    in_interface = "chw"
+    out_interface = "chw"
+    can_widen_internal = True
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: np.random.Generator,
+        hidden: int | None = None,
+        stride: int = 1,
+        transformable: bool = True,
+        cell_id: str | None = None,
+        origin: str = "root",
+    ):
+        super().__init__(cell_id, origin)
+        self.transformable = transformable
+        hidden = hidden or out_channels
+        self.conv1 = Conv2d(in_channels, hidden, 3, rng, stride=stride, bias=False)
+        self.bn1 = BatchNorm2d(hidden)
+        self.act1 = ReLU()
+        self.conv2 = Conv2d(hidden, out_channels, 3, rng, bias=False)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.proj = Conv2d(in_channels, out_channels, 1, rng, stride=stride, pad=0)
+        self.act_out = ReLU()
+
+    @property
+    def in_dim(self) -> int:
+        return self.conv1.in_channels
+
+    @property
+    def out_dim(self) -> int:
+        return self.conv2.out_channels
+
+    @property
+    def hidden_dim(self) -> int:
+        return self.conv1.out_channels
+
+    def _named_layers(self) -> list[tuple[str, Layer]]:
+        return [
+            ("conv1", self.conv1),
+            ("bn1", self.bn1),
+            ("act1", self.act1),
+            ("conv2", self.conv2),
+            ("bn2", self.bn2),
+            ("proj", self.proj),
+            ("act_out", self.act_out),
+        ]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        h = self.act1.forward(self.bn1.forward(self.conv1.forward(x, train), train), train)
+        y = self.bn2.forward(self.conv2.forward(h, train), train)
+        s = self.proj.forward(x, train)
+        return self.act_out.forward(y + s, train)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        d = self.act_out.backward(dout)
+        ds = self.proj.backward(d)
+        dy = self.conv2.backward(self.bn2.backward(d))
+        dh = self.conv1.backward(self.bn1.backward(self.act1.backward(dy)))
+        return dh + ds
+
+    def macs(self, input_shape: tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+        m1, shape1 = self.conv1.macs(input_shape)
+        m2, shape2 = self.conv2.macs(shape1)
+        mp, _ = self.proj.macs(input_shape)
+        return m1 + m2 + mp, shape2
+
+    def widen_internal(
+        self,
+        factor: float,
+        rng: np.random.Generator,
+        noise: float = 0.0,
+        mode: str = "dup",
+    ) -> None:
+        wm = make_widen_mapping(self.hidden_dim, factor, rng, mode)
+        fan_in = self.conv1.in_channels * self.conv1.kernel**2
+        self.conv1.w = _grow_axis(
+            self.conv1.w, wm, 0, rng, noise, fresh_std=np.sqrt(2.0 / fan_in)
+        )
+        if self.conv1.b is not None:
+            self.conv1.b = _grow_axis_fill(self.conv1.b, wm, 0, 0.0)
+        self.conv1.resize_grads()
+        self.bn1.gamma = _grow_axis_fill(self.bn1.gamma, wm, 0, 1.0)
+        self.bn1.beta = _grow_axis_fill(self.bn1.beta, wm, 0, 0.0)
+        self.bn1.running_mean = _grow_axis_fill(self.bn1.running_mean, wm, 0, 0.0)
+        self.bn1.running_var = _grow_axis_fill(self.bn1.running_var, wm, 0, 1.0)
+        self.bn1.resize_grads()
+        self.conv2.w = _expand_consumer_axis(self.conv2.w, wm, 1, rng, noise)
+        self.conv2.resize_grads()
+
+    def expand_input(
+        self, wm: WidenMapping, rng: np.random.Generator | None = None, noise: float = 0.0
+    ) -> None:
+        self.conv1.w = _expand_consumer_axis(self.conv1.w, wm, 1, rng, noise)
+        self.conv1.resize_grads()
+        self.proj.w = _expand_consumer_axis(self.proj.w, wm, 1, rng, noise)
+        self.proj.resize_grads()
+
+    def axis_roles(self) -> dict[str, tuple[str | None, ...]]:
+        roles: dict[str, tuple[str | None, ...]] = {
+            "conv1.w": ("hidden", "in", None, None),
+            "bn1.gamma": ("hidden",),
+            "bn1.beta": ("hidden",),
+            "bn1.running_mean": ("hidden",),
+            "bn1.running_var": ("hidden",),
+            "conv2.w": ("out", "hidden", None, None),
+            "bn2.gamma": ("out",),
+            "bn2.beta": ("out",),
+            "bn2.running_mean": ("out",),
+            "bn2.running_var": ("out",),
+            "proj.w": ("out", "in", None, None),
+        }
+        if self.proj.b is not None:
+            roles["proj.b"] = ("out",)
+        return roles
+
+    def narrow(self, out_idx=None, in_idx=None, hidden_idx=None) -> None:
+        if hidden_idx is not None:
+            self.conv1.w = _dup_axis(self.conv1.w, hidden_idx, 0)
+            self.bn1.gamma = _dup_axis(self.bn1.gamma, hidden_idx, 0)
+            self.bn1.beta = _dup_axis(self.bn1.beta, hidden_idx, 0)
+            self.bn1.running_mean = _dup_axis(self.bn1.running_mean, hidden_idx, 0)
+            self.bn1.running_var = _dup_axis(self.bn1.running_var, hidden_idx, 0)
+            self.bn1.resize_grads()
+            self.conv2.w = _dup_axis(self.conv2.w, hidden_idx, 1)
+        if out_idx is not None:
+            self.conv2.w = _dup_axis(self.conv2.w, out_idx, 0)
+            self.bn2.gamma = _dup_axis(self.bn2.gamma, out_idx, 0)
+            self.bn2.beta = _dup_axis(self.bn2.beta, out_idx, 0)
+            self.bn2.running_mean = _dup_axis(self.bn2.running_mean, out_idx, 0)
+            self.bn2.running_var = _dup_axis(self.bn2.running_var, out_idx, 0)
+            self.bn2.resize_grads()
+            self.proj.w = _dup_axis(self.proj.w, out_idx, 0)
+            if self.proj.b is not None:
+                self.proj.b = _dup_axis(self.proj.b, out_idx, 0)
+        if in_idx is not None:
+            self.conv1.w = _dup_axis(self.conv1.w, in_idx, 1)
+            self.proj.w = _dup_axis(self.proj.w, in_idx, 1)
+        self.conv1.resize_grads()
+        self.conv2.resize_grads()
+        self.proj.resize_grads()
+
+    @classmethod
+    def identity(cls, channels: int) -> "ResidualConvCell":
+        """Residual cell computing the identity: zeroed main branch, identity skip."""
+        rng = np.random.default_rng(0)
+        cell = cls(channels, channels, rng, origin="inserted")
+        cell.conv2.w = np.zeros_like(cell.conv2.w)
+        if cell.conv2.b is not None:
+            cell.conv2.b = np.zeros_like(cell.conv2.b)
+        cell.conv2.resize_grads()
+        cell.proj.w = identity_conv_kernel(channels, 1)
+        cell.proj.b = np.zeros(channels)
+        cell.proj.resize_grads()
+        return cell
+
+
+class DenseCell(Cell):
+    """Dense -> ReLU; the MLP analogue of :class:`ConvCell`."""
+
+    kind = "dense"
+    in_interface = "flat"
+    out_interface = "flat"
+    can_widen_output = True
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        transformable: bool = True,
+        cell_id: str | None = None,
+        origin: str = "root",
+    ):
+        super().__init__(cell_id, origin)
+        self.transformable = transformable
+        self.fc = Dense(in_features, out_features, rng)
+        self.act = ReLU()
+
+    @property
+    def in_dim(self) -> int:
+        return self.fc.in_features
+
+    @property
+    def out_dim(self) -> int:
+        return self.fc.out_features
+
+    def _named_layers(self) -> list[tuple[str, Layer]]:
+        return [("fc", self.fc), ("act", self.act)]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        return self.act.forward(self.fc.forward(x, train), train)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return self.fc.backward(self.act.backward(dout))
+
+    def widen_output(
+        self,
+        factor: float,
+        rng: np.random.Generator,
+        noise: float = 0.0,
+        mode: str = "dup",
+    ) -> WidenMapping:
+        wm = make_widen_mapping(self.out_dim, factor, rng, mode)
+        self.fc.w = _grow_axis(
+            self.fc.w, wm, 1, rng, noise, fresh_std=np.sqrt(2.0 / self.in_dim)
+        )
+        self.fc.b = _grow_axis_fill(self.fc.b, wm, 0, 0.0)
+        self.fc.resize_grads()
+        return wm
+
+    def expand_input(
+        self, wm: WidenMapping, rng: np.random.Generator | None = None, noise: float = 0.0
+    ) -> None:
+        self.fc.w = _expand_consumer_axis(self.fc.w, wm, 0, rng, noise)
+        self.fc.resize_grads()
+
+    def axis_roles(self) -> dict[str, tuple[str | None, ...]]:
+        return {"fc.w": ("in", "out"), "fc.b": ("out",)}
+
+    def narrow(self, out_idx=None, in_idx=None, hidden_idx=None) -> None:
+        if hidden_idx is not None:
+            raise ValueError("dense cells have no hidden axis")
+        if out_idx is not None:
+            self.fc.w = _dup_axis(self.fc.w, out_idx, 1)
+            self.fc.b = _dup_axis(self.fc.b, out_idx, 0)
+        if in_idx is not None:
+            self.fc.w = _dup_axis(self.fc.w, in_idx, 0)
+        self.fc.resize_grads()
+
+    @classmethod
+    def identity(cls, features: int) -> "DenseCell":
+        rng = np.random.default_rng(0)
+        cell = cls(features, features, rng, origin="inserted")
+        cell.fc.w = identity_dense(features)
+        cell.fc.b = np.zeros(features)
+        cell.fc.resize_grads()
+        return cell
+
+
+class ViTCell(Cell):
+    """Pre-norm transformer encoder block; widens its MLP hidden width."""
+
+    kind = "vit"
+    in_interface = "tokens"
+    out_interface = "tokens"
+    can_widen_internal = True
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        mlp_hidden: int,
+        rng: np.random.Generator,
+        transformable: bool = True,
+        cell_id: str | None = None,
+        origin: str = "root",
+    ):
+        super().__init__(cell_id, origin)
+        self.transformable = transformable
+        self.ln1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, heads, rng)
+        self.ln2 = LayerNorm(dim)
+        self.fc1 = Dense(dim, mlp_hidden, rng)
+        self.act = GELU()
+        self.fc2 = Dense(mlp_hidden, dim, rng)
+
+    @property
+    def in_dim(self) -> int:
+        return self.ln1.features
+
+    @property
+    def out_dim(self) -> int:
+        return self.ln1.features
+
+    @property
+    def hidden_dim(self) -> int:
+        return self.fc1.out_features
+
+    def _named_layers(self) -> list[tuple[str, Layer]]:
+        return [
+            ("ln1", self.ln1),
+            ("attn", self.attn),
+            ("ln2", self.ln2),
+            ("fc1", self.fc1),
+            ("act", self.act),
+            ("fc2", self.fc2),
+        ]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        a = self.attn.forward(self.ln1.forward(x, train), train)
+        x1 = x + a
+        n, t, d = x1.shape
+        h = self.ln2.forward(x1, train)
+        h2 = self.fc1.forward(h.reshape(n * t, d), train)
+        h3 = self.fc2.forward(self.act.forward(h2, train), train)
+        self._tok_shape = (n, t, d)
+        return x1 + h3.reshape(n, t, d)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        n, t, d = self._tok_shape
+        dh3 = dout.reshape(n * t, d)
+        dh = self.fc1.backward(self.act.backward(self.fc2.backward(dh3)))
+        dx1 = dout + self.ln2.backward(dh.reshape(n, t, d))
+        da = self.attn.backward(dx1)
+        return dx1 + self.ln1.backward(da)
+
+    def macs(self, input_shape: tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+        t, d = input_shape
+        m_attn, _ = self.attn.macs((t, d))
+        m_mlp = t * (d * self.hidden_dim + self.hidden_dim * d)
+        return m_attn + m_mlp, (t, d)
+
+    def widen_internal(
+        self,
+        factor: float,
+        rng: np.random.Generator,
+        noise: float = 0.0,
+        mode: str = "dup",
+    ) -> None:
+        wm = make_widen_mapping(self.hidden_dim, factor, rng, mode)
+        self.fc1.w = _grow_axis(
+            self.fc1.w, wm, 1, rng, noise, fresh_std=np.sqrt(2.0 / self.in_dim)
+        )
+        self.fc1.b = _grow_axis_fill(self.fc1.b, wm, 0, 0.0)
+        self.fc1.resize_grads()
+        self.fc2.w = _expand_consumer_axis(self.fc2.w, wm, 0, rng, noise)
+        self.fc2.resize_grads()
+
+    def axis_roles(self) -> dict[str, tuple[str | None, ...]]:
+        # The token dimension is shared by every ViT cell and is never
+        # narrowed; only the MLP hidden width shrinks in subnets.
+        return {
+            "fc1.w": (None, "hidden"),
+            "fc1.b": ("hidden",),
+            "fc2.w": ("hidden", None),
+        }
+
+    def narrow(self, out_idx=None, in_idx=None, hidden_idx=None) -> None:
+        if out_idx is not None or in_idx is not None:
+            raise ValueError("ViT cells only narrow their MLP hidden width")
+        if hidden_idx is not None:
+            self.fc1.w = _dup_axis(self.fc1.w, hidden_idx, 1)
+            self.fc1.b = _dup_axis(self.fc1.b, hidden_idx, 0)
+            self.fc2.w = _dup_axis(self.fc2.w, hidden_idx, 0)
+            self.fc1.resize_grads()
+            self.fc2.resize_grads()
+
+    @classmethod
+    def identity(
+        cls, dim: int, heads: int, mlp_hidden: int, rng: np.random.Generator
+    ) -> "ViTCell":
+        """Exact-identity block: both residual branches project to zero."""
+        cell = cls(dim, heads, mlp_hidden, rng, origin="inserted")
+        cell.attn.w_out = np.zeros_like(cell.attn.w_out)
+        cell.attn.b_out = np.zeros_like(cell.attn.b_out)
+        cell.fc2.w = np.zeros_like(cell.fc2.w)
+        cell.fc2.b = np.zeros_like(cell.fc2.b)
+        cell.fc2.resize_grads()
+        return cell
+
+
+class ViTStemCell(Cell):
+    """Patch embedding stem; not transformable."""
+
+    kind = "vit_stem"
+    in_interface = "chw"
+    out_interface = "tokens"
+    transformable = False
+
+    def __init__(
+        self,
+        in_channels: int,
+        image_size: int,
+        patch: int,
+        dim: int,
+        rng: np.random.Generator,
+        cell_id: str | None = None,
+    ):
+        super().__init__(cell_id)
+        self.transformable = False
+        self.embed = PatchEmbed(in_channels, image_size, patch, dim, rng)
+
+    @property
+    def in_dim(self) -> int:
+        return self.embed.in_channels
+
+    @property
+    def out_dim(self) -> int:
+        return self.embed.dim
+
+    def _named_layers(self) -> list[tuple[str, Layer]]:
+        return [("embed", self.embed)]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        return self.embed.forward(x, train)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return self.embed.backward(dout)
+
+
+class ConvClassifierCell(Cell):
+    """Global average pool + linear head for CHW features; not transformable."""
+
+    kind = "classifier"
+    in_interface = "chw"
+    out_interface = "flat"
+    transformable = False
+
+    def __init__(
+        self,
+        in_channels: int,
+        num_classes: int,
+        rng: np.random.Generator,
+        cell_id: str | None = None,
+    ):
+        super().__init__(cell_id)
+        self.transformable = False
+        self.gap = GlobalAvgPool2d()
+        self.head = Dense(in_channels, num_classes, rng)
+
+    @property
+    def in_dim(self) -> int:
+        return self.head.in_features
+
+    @property
+    def out_dim(self) -> int:
+        return self.head.out_features
+
+    def _named_layers(self) -> list[tuple[str, Layer]]:
+        return [("gap", self.gap), ("head", self.head)]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        return self.head.forward(self.gap.forward(x, train), train)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return self.gap.backward(self.head.backward(dout))
+
+    def expand_input(
+        self, wm: WidenMapping, rng: np.random.Generator | None = None, noise: float = 0.0
+    ) -> None:
+        self.head.w = _expand_consumer_axis(self.head.w, wm, 0, rng, noise)
+        self.head.resize_grads()
+
+    def axis_roles(self) -> dict[str, tuple[str | None, ...]]:
+        return {"head.w": ("in", None)}
+
+    def narrow(self, out_idx=None, in_idx=None, hidden_idx=None) -> None:
+        if out_idx is not None or hidden_idx is not None:
+            raise ValueError("classifier cells only narrow their input")
+        if in_idx is not None:
+            self.head.w = _dup_axis(self.head.w, in_idx, 0)
+            self.head.resize_grads()
+
+
+class FlatClassifierCell(Cell):
+    """Linear head over flat features; not transformable."""
+
+    kind = "classifier"
+    in_interface = "flat"
+    out_interface = "flat"
+    transformable = False
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        rng: np.random.Generator,
+        cell_id: str | None = None,
+    ):
+        super().__init__(cell_id)
+        self.transformable = False
+        self.head = Dense(in_features, num_classes, rng)
+
+    @property
+    def in_dim(self) -> int:
+        return self.head.in_features
+
+    @property
+    def out_dim(self) -> int:
+        return self.head.out_features
+
+    def _named_layers(self) -> list[tuple[str, Layer]]:
+        return [("head", self.head)]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        return self.head.forward(x, train)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return self.head.backward(dout)
+
+    def expand_input(
+        self, wm: WidenMapping, rng: np.random.Generator | None = None, noise: float = 0.0
+    ) -> None:
+        self.head.w = _expand_consumer_axis(self.head.w, wm, 0, rng, noise)
+        self.head.resize_grads()
+
+    def axis_roles(self) -> dict[str, tuple[str | None, ...]]:
+        return {"head.w": ("in", None)}
+
+    def narrow(self, out_idx=None, in_idx=None, hidden_idx=None) -> None:
+        if out_idx is not None or hidden_idx is not None:
+            raise ValueError("classifier cells only narrow their input")
+        if in_idx is not None:
+            self.head.w = _dup_axis(self.head.w, in_idx, 0)
+            self.head.resize_grads()
+
+
+class TokenClassifierCell(Cell):
+    """Mean-pool tokens + linear head (ViT); not transformable."""
+
+    kind = "classifier"
+    in_interface = "tokens"
+    out_interface = "flat"
+    transformable = False
+
+    def __init__(
+        self,
+        dim: int,
+        num_classes: int,
+        rng: np.random.Generator,
+        cell_id: str | None = None,
+    ):
+        super().__init__(cell_id)
+        self.transformable = False
+        self.head = Dense(dim, num_classes, rng)
+        self._tokens: int | None = None
+
+    @property
+    def in_dim(self) -> int:
+        return self.head.in_features
+
+    @property
+    def out_dim(self) -> int:
+        return self.head.out_features
+
+    def _named_layers(self) -> list[tuple[str, Layer]]:
+        return [("head", self.head)]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        self._tokens = x.shape[1]
+        return self.head.forward(x.mean(axis=1), train)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        dpool = self.head.backward(dout)
+        t = self._tokens
+        return np.broadcast_to(dpool[:, None, :], (dpool.shape[0], t, dpool.shape[1])) / t
+
+    def macs(self, input_shape: tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+        t, d = input_shape
+        m, out_shape = self.head.macs((d,))
+        return m, out_shape

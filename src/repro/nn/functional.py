@@ -1,0 +1,185 @@
+"""Low-level array kernels for the NumPy neural-network substrate.
+
+Everything here is a pure function on :class:`numpy.ndarray` values, written
+with vectorized NumPy idioms (no per-element Python loops on the hot path).
+The convolution kernels use the classic im2col/col2im lowering so the heavy
+lifting happens inside BLAS matmuls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "relu",
+    "relu_grad",
+    "gelu",
+    "gelu_grad",
+    "softmax",
+    "log_softmax",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size {out} "
+            f"(input={size}, kernel={kernel}, stride={stride}, pad={pad})"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Lower sliding convolution windows into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N, C*kh*kw, OH*OW)``.
+    oh, ow:
+        Spatial output sizes.
+    """
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kh, stride, pad)
+    ow = conv_output_size(w, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            cols[:, :, i, j] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, oh * ow), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kh, stride, pad)
+    ow = conv_output_size(w, kw, stride, pad)
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            xp[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    if pad > 0:
+        return xp[:, :, pad : pad + h, pad : pad + w]
+    return xp
+
+
+def conv2d_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None, stride: int, pad: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """2-D convolution forward pass.
+
+    Parameters
+    ----------
+    x:
+        ``(N, C, H, W)`` input.
+    weight:
+        ``(F, C, kh, kw)`` filters.
+    bias:
+        ``(F,)`` or ``None``.
+
+    Returns
+    -------
+    out:
+        ``(N, F, OH, OW)``.
+    cols:
+        The im2col buffer, cached for the backward pass.
+    """
+    f, c, kh, kw = weight.shape
+    cols, oh, ow = im2col(x, kh, kw, stride, pad)
+    wm = weight.reshape(f, c * kh * kw)
+    out = np.matmul(wm[None], cols)  # (N, F, OH*OW)
+    if bias is not None:
+        out += bias[None, :, None]
+    n = x.shape[0]
+    return out.reshape(n, f, oh, ow), cols
+
+
+def conv2d_backward(
+    dout: np.ndarray,
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    weight: np.ndarray,
+    stride: int,
+    pad: int,
+    with_bias: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Backward pass of :func:`conv2d_forward`.
+
+    Returns ``(dx, dweight, dbias)``; ``dbias`` is ``None`` when
+    ``with_bias`` is false.
+    """
+    f, c, kh, kw = weight.shape
+    n = dout.shape[0]
+    dflat = dout.reshape(n, f, -1)  # (N, F, OH*OW)
+    wm = weight.reshape(f, c * kh * kw)
+    dw = np.einsum("nfo,nko->fk", dflat, cols).reshape(weight.shape)
+    dcols = np.matmul(wm.T[None], dflat)  # (N, K, OH*OW)
+    dx = col2im(dcols, x_shape, kh, kw, stride, pad)
+    db = dflat.sum(axis=(0, 2)) if with_bias else None
+    return dx, dw, db
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, dout: np.ndarray) -> np.ndarray:
+    """Gradient of ReLU with respect to its input."""
+    return dout * (x > 0)
+
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation)."""
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+
+
+def gelu_grad(x: np.ndarray, dout: np.ndarray) -> np.ndarray:
+    """Gradient of the tanh-approximated GELU."""
+    t = np.tanh(_GELU_C * (x + 0.044715 * x**3))
+    dt = (1.0 - t**2) * _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    return dout * (0.5 * (1.0 + t) + 0.5 * x * dt)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    z = x - x.max(axis=axis, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=axis, keepdims=True))

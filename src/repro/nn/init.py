@@ -1,0 +1,51 @@
+"""Weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+every model in the simulation is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_normal", "xavier_uniform", "zeros", "identity_conv_kernel", "identity_dense"]
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He-normal initialization, suited to ReLU networks."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros tensor (biases, zero-init residual branches)."""
+    return np.zeros(shape)
+
+
+def identity_conv_kernel(channels: int, kernel: int = 3) -> np.ndarray:
+    """A conv kernel computing the identity map over ``channels`` channels.
+
+    The centre tap of each filter is a one-hot over its own input channel;
+    all other taps are zero, so ``conv(x, K, pad=kernel//2) == x`` exactly.
+    Used by FedTrans's deepen operation (Net2DeeperNet).
+    """
+    if kernel % 2 != 1:
+        raise ValueError("identity kernels require odd kernel size")
+    k = np.zeros((channels, channels, kernel, kernel))
+    centre = kernel // 2
+    idx = np.arange(channels)
+    k[idx, idx, centre, centre] = 1.0
+    return k
+
+
+def identity_dense(features: int) -> np.ndarray:
+    """Identity weight matrix for a Dense layer (``x @ I == x``)."""
+    return np.eye(features)

@@ -1,0 +1,441 @@
+"""Trainable layers with explicit forward/backward passes.
+
+Every layer follows the same contract:
+
+* ``forward(x, train)`` returns the activation and caches what backward needs.
+* ``backward(dout)`` returns ``dx`` and accumulates parameter gradients into
+  the layer's ``.g_*`` buffers (read them via :meth:`Layer.grads`).
+* ``params()``/``grads()`` expose live references keyed by short names
+  (``"w"``, ``"b"``, ``"gamma"``, ``"beta"``); cells add prefixes.
+* ``macs(input_shape)`` returns ``(per_sample_macs, output_shape)`` so models
+  can chain cost accounting without running data through the network.
+
+Layers are single-use per step: call ``forward`` then ``backward``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .init import he_normal, zeros
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "ReLU",
+    "GELU",
+    "AvgPool2d",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Dropout",
+]
+
+
+class Layer:
+    """Base class; subclasses override the marked methods."""
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> dict[str, np.ndarray]:
+        """Live references to trainable tensors (may be empty)."""
+        return {}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        """Gradients matching :meth:`params` keys."""
+        return {}
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Non-trainable buffers (e.g. BatchNorm running stats)."""
+        return {}
+
+    def zero_grad(self) -> None:
+        for g in self.grads().values():
+            g[...] = 0.0
+
+    def macs(self, input_shape: tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+        """Per-sample multiply-accumulate count and the output shape."""
+        return 0, input_shape
+
+
+class Dense(Layer):
+    """Affine map ``y = x @ w + b`` with ``w`` of shape ``(in, out)``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        self.w = he_normal(rng, (in_features, out_features), fan_in=in_features)
+        self.b = zeros((out_features,))
+        self.g_w = np.zeros_like(self.w)
+        self.g_b = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    @property
+    def in_features(self) -> int:
+        return self.w.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.w.shape[1]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        self._x = x
+        return x @ self.w + self.b
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward before forward"
+        self.g_w += self._x.T @ dout
+        self.g_b += dout.sum(axis=0)
+        return dout @ self.w.T
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"w": self.w, "b": self.b}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"w": self.g_w, "b": self.g_b}
+
+    def resize_grads(self) -> None:
+        """Re-allocate gradient buffers after a structural transform."""
+        self.g_w = np.zeros_like(self.w)
+        self.g_b = np.zeros_like(self.b)
+
+    def macs(self, input_shape: tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+        (features,) = input_shape
+        if features != self.in_features:
+            raise ValueError(f"Dense expects {self.in_features} features, got {features}")
+        return self.in_features * self.out_features, (self.out_features,)
+
+
+class Conv2d(Layer):
+    """2-D convolution over NCHW input, weight shape ``(F, C, kh, kw)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        pad: int | None = None,
+        bias: bool = True,
+    ):
+        self.stride = stride
+        self.pad = kernel // 2 if pad is None else pad
+        self.kernel = kernel
+        fan_in = in_channels * kernel * kernel
+        self.w = he_normal(rng, (out_channels, in_channels, kernel, kernel), fan_in)
+        self.b = zeros((out_channels,)) if bias else None
+        self.g_w = np.zeros_like(self.w)
+        self.g_b = np.zeros_like(self.b) if bias else None
+        self._cache: tuple[np.ndarray, tuple[int, int, int, int]] | None = None
+
+    @property
+    def in_channels(self) -> int:
+        return self.w.shape[1]
+
+    @property
+    def out_channels(self) -> int:
+        return self.w.shape[0]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        out, cols = F.conv2d_forward(x, self.w, self.b, self.stride, self.pad)
+        self._cache = (cols, x.shape)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before forward"
+        cols, x_shape = self._cache
+        dx, dw, db = F.conv2d_backward(
+            dout, cols, x_shape, self.w, self.stride, self.pad, with_bias=self.b is not None
+        )
+        self.g_w += dw
+        if db is not None:
+            self.g_b += db
+        return dx
+
+    def params(self) -> dict[str, np.ndarray]:
+        p = {"w": self.w}
+        if self.b is not None:
+            p["b"] = self.b
+        return p
+
+    def grads(self) -> dict[str, np.ndarray]:
+        g = {"w": self.g_w}
+        if self.g_b is not None:
+            g["b"] = self.g_b
+        return g
+
+    def resize_grads(self) -> None:
+        self.g_w = np.zeros_like(self.w)
+        if self.b is not None:
+            self.g_b = np.zeros_like(self.b)
+
+    def macs(self, input_shape: tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(f"Conv2d expects {self.in_channels} channels, got {c}")
+        oh = F.conv_output_size(h, self.kernel, self.stride, self.pad)
+        ow = F.conv_output_size(w, self.kernel, self.stride, self.pad)
+        m = oh * ow * self.out_channels * self.in_channels * self.kernel * self.kernel
+        return m, (self.out_channels, oh, ow)
+
+
+class BatchNorm2d(Layer):
+    """Per-channel batch normalization over NCHW activations."""
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5):
+        self.gamma = np.ones(channels)
+        self.beta = np.zeros(channels)
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.momentum = momentum
+        self.eps = eps
+        self.g_gamma = np.zeros_like(self.gamma)
+        self.g_beta = np.zeros_like(self.beta)
+        self._cache: tuple | None = None
+
+    @property
+    def channels(self) -> int:
+        return self.gamma.shape[0]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if train:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (xhat, inv_std, train)
+        return self.gamma[None, :, None, None] * xhat + self.beta[None, :, None, None]
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before forward"
+        xhat, inv_std, train = self._cache
+        self.g_gamma += (dout * xhat).sum(axis=(0, 2, 3))
+        self.g_beta += dout.sum(axis=(0, 2, 3))
+        dxhat = dout * self.gamma[None, :, None, None]
+        if not train:
+            return dxhat * inv_std[None, :, None, None]
+        n = dout.shape[0] * dout.shape[2] * dout.shape[3]
+        # Full batch-stat backward: dx = (1/N) inv_std (N dxhat - sum dxhat - xhat * sum(dxhat*xhat))
+        sum_dxhat = dxhat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_dxhat_xhat = (dxhat * xhat).sum(axis=(0, 2, 3), keepdims=True)
+        dx = (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n) * inv_std[None, :, None, None]
+        return dx
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.g_gamma, "beta": self.g_beta}
+
+    def state(self) -> dict[str, np.ndarray]:
+        return {"running_mean": self.running_mean, "running_var": self.running_var}
+
+    def resize_grads(self) -> None:
+        self.g_gamma = np.zeros_like(self.gamma)
+        self.g_beta = np.zeros_like(self.beta)
+
+
+class LayerNorm(Layer):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        self.gamma = np.ones(features)
+        self.beta = np.zeros(features)
+        self.eps = eps
+        self.g_gamma = np.zeros_like(self.gamma)
+        self.g_beta = np.zeros_like(self.beta)
+        self._cache: tuple | None = None
+
+    @property
+    def features(self) -> int:
+        return self.gamma.shape[0]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean) * inv_std
+        self._cache = (xhat, inv_std)
+        return self.gamma * xhat + self.beta
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before forward"
+        xhat, inv_std = self._cache
+        axes = tuple(range(dout.ndim - 1))
+        self.g_gamma += (dout * xhat).sum(axis=axes)
+        self.g_beta += dout.sum(axis=axes)
+        dxhat = dout * self.gamma
+        n = xhat.shape[-1]
+        dx = (
+            dxhat
+            - dxhat.mean(axis=-1, keepdims=True)
+            - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        return dx
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"gamma": self.g_gamma, "beta": self.g_beta}
+
+    def resize_grads(self) -> None:
+        self.g_gamma = np.zeros_like(self.gamma)
+        self.g_beta = np.zeros_like(self.beta)
+
+
+class ReLU(Layer):
+    """Elementwise max(x, 0)."""
+
+    def __init__(self) -> None:
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        self._x = x
+        return F.relu(x)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._x is not None
+        return F.relu_grad(self._x, dout)
+
+
+class GELU(Layer):
+    """Elementwise GELU (tanh approximation)."""
+
+    def __init__(self) -> None:
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        self._x = x
+        return F.gelu(x)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._x is not None
+        return F.gelu_grad(self._x, dout)
+
+
+class _Pool2d(Layer):
+    """Common plumbing for non-overlapping 2-D pooling (kernel == stride)."""
+
+    def __init__(self, kernel: int = 2):
+        self.kernel = kernel
+        self._cache: tuple | None = None
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel
+        if h % k or w % k:
+            raise ValueError(f"pooling kernel {k} must divide spatial dims {(h, w)}")
+        return x.reshape(n, c, h // k, k, w // k, k)
+
+    def macs(self, input_shape: tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+        c, h, w = input_shape
+        k = self.kernel
+        return 0, (c, h // k, w // k)
+
+
+class AvgPool2d(_Pool2d):
+    """Non-overlapping average pooling."""
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        self._cache = (x.shape,)
+        return self._split(x).mean(axis=(3, 5))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        (x_shape,) = self._cache
+        k = self.kernel
+        d = np.repeat(np.repeat(dout, k, axis=2), k, axis=3) / (k * k)
+        return d.reshape(x_shape)
+
+
+class MaxPool2d(_Pool2d):
+    """Non-overlapping max pooling."""
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        split = self._split(x)
+        n, c, oh, k, ow, _ = split.shape
+        flat = split.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, k * k)
+        idx = flat.argmax(axis=-1)
+        self._cache = (x.shape, idx)
+        return np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        x_shape, idx = self._cache
+        n, c, h, w = x_shape
+        k = self.kernel
+        oh, ow = h // k, w // k
+        dflat = np.zeros((n, c, oh, ow, k * k), dtype=dout.dtype)
+        np.put_along_axis(dflat, idx[..., None], dout[..., None], axis=-1)
+        d = dflat.reshape(n, c, oh, ow, k, k).transpose(0, 1, 2, 4, 3, 5)
+        return d.reshape(x_shape)
+
+
+class GlobalAvgPool2d(Layer):
+    """Collapse NCHW activations to NC by spatial averaging."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._shape
+        return np.broadcast_to(dout[:, :, None, None], (n, c, h, w)) / (h * w)
+
+    def macs(self, input_shape: tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+        c, h, w = input_shape
+        return 0, (c,)
+
+
+class Flatten(Layer):
+    """Reshape any trailing dims into a feature vector."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return dout.reshape(self._shape)
+
+    def macs(self, input_shape: tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
+        return 0, (int(np.prod(input_shape)),)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity when evaluating."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if not train or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dout
+        return dout * self._mask

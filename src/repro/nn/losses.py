@@ -1,0 +1,54 @@
+"""Loss functions.
+
+Losses return ``(value, dlogits)`` so training code can immediately start the
+backward pass.  Values are means over the batch, matching the convention used
+by the FL cost accounting (per-sample losses aggregate across clients by
+sample-count weighting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import log_softmax, softmax
+
+__all__ = ["softmax_cross_entropy", "accuracy"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, label_smoothing: float = 0.0
+) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, K)`` unnormalized scores.
+    labels:
+        ``(N,)`` integer class labels.
+    label_smoothing:
+        Mass spread uniformly over the other classes.
+    """
+    n, k = logits.shape
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} does not match logits {logits.shape}")
+    if np.any(labels < 0) or np.any(labels >= k):
+        raise ValueError("labels out of range for logits")
+    logp = log_softmax(logits, axis=-1)
+    if label_smoothing > 0.0:
+        smooth = label_smoothing / (k - 1) if k > 1 else 0.0
+        target = np.full((n, k), smooth)
+        target[np.arange(n), labels] = 1.0 - label_smoothing
+    else:
+        target = np.zeros((n, k))
+        target[np.arange(n), labels] = 1.0
+    loss = float(-(target * logp).sum() / n)
+    dlogits = (softmax(logits, axis=-1) - target) / n
+    return loss, dlogits
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy."""
+    if len(labels) == 0:
+        return 0.0
+    return float((logits.argmax(axis=-1) == labels).mean())

@@ -1,0 +1,351 @@
+"""CellModel: an ordered chain of cells with lineage-aware parameter naming.
+
+Parameters are keyed ``"{cell_id}/{layer}.{tensor}"``.  Because a widened
+cell keeps its ``cell_id`` and an inserted cell mints a fresh one, two models
+related by FedTrans transformations share keys exactly on their common
+lineage — which is what makes cross-model weight sharing (soft aggregation,
+HeteroFL-style cropping) a pure dictionary operation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cells import (
+    Cell,
+    ConvCell,
+    DenseCell,
+    ResidualConvCell,
+    ViTCell,
+    WidenMapping,
+)
+from .losses import accuracy, softmax_cross_entropy
+from .param_ops import ParamTree
+
+__all__ = ["CellModel", "TransformRecord"]
+
+_model_counter = itertools.count()
+
+
+def _new_model_id() -> str:
+    return f"m{next(_model_counter):03d}"
+
+
+@dataclass
+class TransformRecord:
+    """One structural edit applied to a model (for lineage/similarity)."""
+
+    op: str  # 'widen' | 'deepen'
+    cell_id: str  # the cell widened, or the anchor cell deepened after
+    round: int
+    detail: dict = field(default_factory=dict)
+
+
+class CellModel:
+    """A neural network as an ordered list of :class:`Cell` objects.
+
+    Parameters
+    ----------
+    cells:
+        The cell chain; interfaces must line up (validated).
+    input_shape:
+        Per-sample input shape — ``(C, H, W)`` for image cells, ``(F,)`` for
+        flat cells.
+    num_classes:
+        Output dimensionality (for validation and reporting).
+    """
+
+    def __init__(
+        self,
+        cells: list[Cell],
+        input_shape: tuple[int, ...],
+        num_classes: int,
+        model_id: str | None = None,
+        parent_id: str | None = None,
+        birth_round: int = 0,
+    ):
+        if not cells:
+            raise ValueError("a model needs at least one cell")
+        for prev, nxt in zip(cells, cells[1:]):
+            if prev.out_interface != nxt.in_interface:
+                raise ValueError(
+                    f"interface mismatch: {prev.cell_id} emits {prev.out_interface}, "
+                    f"{nxt.cell_id} expects {nxt.in_interface}"
+                )
+        self.cells = cells
+        self.input_shape = tuple(input_shape)
+        self.num_classes = num_classes
+        self.model_id = model_id or _new_model_id()
+        self.parent_id = parent_id
+        self.birth_round = birth_round
+        self.history: list[TransformRecord] = []
+        # Chain validation: raises if shapes are inconsistent.
+        self.macs()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        for cell in self.cells:
+            x = cell.forward(x, train)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for cell in reversed(self.cells):
+            dout = cell.backward(dout)
+        return dout
+
+    def loss_and_grad(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One forward/backward pass; gradients accumulate into the cells."""
+        logits = self.forward(x, train=True)
+        loss, dlogits = softmax_cross_entropy(logits, y)
+        self.backward(dlogits)
+        return loss
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Inference logits, evaluated in batches with train=False."""
+        outs = []
+        for start in range(0, len(x), batch_size):
+            outs.append(self.forward(x[start : start + batch_size], train=False))
+        return np.concatenate(outs, axis=0)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> tuple[float, float]:
+        """Return ``(mean_loss, accuracy)`` on a dataset."""
+        logits = self.predict(x, batch_size)
+        loss, _ = softmax_cross_entropy(logits, y)
+        return loss, accuracy(logits, y)
+
+    # ------------------------------------------------------------------
+    # parameters
+    # ------------------------------------------------------------------
+    def params(self) -> ParamTree:
+        """Live references, keyed by ``cell_id/layer.tensor``."""
+        out: ParamTree = {}
+        for cell in self.cells:
+            for k, v in cell.params().items():
+                out[f"{cell.cell_id}/{k}"] = v
+        return out
+
+    def grads(self) -> ParamTree:
+        out: ParamTree = {}
+        for cell in self.cells:
+            for k, v in cell.grads().items():
+                out[f"{cell.cell_id}/{k}"] = v
+        return out
+
+    def state(self) -> ParamTree:
+        out: ParamTree = {}
+        for cell in self.cells:
+            for k, v in cell.state().items():
+                out[f"{cell.cell_id}/{k}"] = v
+        return out
+
+    def get_params(self) -> ParamTree:
+        """Deep copies of all parameters."""
+        return {k: v.copy() for k, v in self.params().items()}
+
+    def get_state(self) -> ParamTree:
+        return {k: v.copy() for k, v in self.state().items()}
+
+    def set_params(self, tree: ParamTree, strict: bool = True) -> None:
+        """Write values into the live parameter arrays (shape-checked)."""
+        live = self.params()
+        if strict and live.keys() != tree.keys():
+            missing = set(live) ^ set(tree)
+            raise KeyError(f"param keys mismatch: {sorted(missing)[:8]}")
+        for k, v in tree.items():
+            if k not in live:
+                if strict:
+                    raise KeyError(k)
+                continue
+            if live[k].shape != v.shape:
+                raise ValueError(f"shape mismatch for {k}: {live[k].shape} vs {v.shape}")
+            live[k][...] = v
+
+    def set_state(self, tree: ParamTree, strict: bool = True) -> None:
+        live = self.state()
+        for k, v in tree.items():
+            if k not in live:
+                if strict:
+                    raise KeyError(k)
+                continue
+            live[k][...] = v
+
+    def zero_grad(self) -> None:
+        for cell in self.cells:
+            cell.zero_grad()
+
+    def num_params(self) -> int:
+        return int(sum(v.size for v in self.params().values()))
+
+    def nbytes(self) -> int:
+        """Serialized size of the parameters in bytes."""
+        return int(sum(v.nbytes for v in self.params().values()))
+
+    # ------------------------------------------------------------------
+    # cost accounting
+    # ------------------------------------------------------------------
+    def macs(self) -> int:
+        """Per-sample forward multiply-accumulate operations."""
+        total = 0
+        shape = self.input_shape
+        for cell in self.cells:
+            m, shape = cell.macs(shape)
+            total += m
+        if shape != (self.num_classes,):
+            raise ValueError(
+                f"model emits shape {shape}, expected ({self.num_classes},)"
+            )
+        return total
+
+    def train_macs_per_sample(self) -> int:
+        """Training cost per sample: forward + backward ~= 3x forward MACs."""
+        return 3 * self.macs()
+
+    def cell_macs(self) -> dict[str, int]:
+        """Per-cell forward MACs (used by activeness diagnostics)."""
+        out: dict[str, int] = {}
+        shape = self.input_shape
+        for cell in self.cells:
+            m, shape = cell.macs(shape)
+            out[cell.cell_id] = m
+        return out
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def cell_index(self, cell_id: str) -> int:
+        for i, cell in enumerate(self.cells):
+            if cell.cell_id == cell_id:
+                return i
+        raise KeyError(f"no cell {cell_id} in model {self.model_id}")
+
+    def get_cell(self, cell_id: str) -> Cell:
+        return self.cells[self.cell_index(cell_id)]
+
+    def transformable_cells(self) -> list[Cell]:
+        return [c for c in self.cells if c.transformable]
+
+    def clone(self, birth_round: int | None = None, keep_id: bool = False) -> "CellModel":
+        """Deep copy; lineage (cell ids) is always preserved.
+
+        ``keep_id=True`` keeps the same ``model_id`` — used for per-client
+        training workspaces, which are *replicas* of a server model rather
+        than new family members.  The default mints a fresh id (the
+        transformation path).
+        """
+        new = CellModel(
+            [c.clone() for c in self.cells],
+            self.input_shape,
+            self.num_classes,
+            model_id=self.model_id if keep_id else None,
+            parent_id=self.parent_id if keep_id else self.model_id,
+            birth_round=self.birth_round if birth_round is None else birth_round,
+        )
+        new.history = list(self.history)
+        return new
+
+    def widen_cell(
+        self,
+        cell_id: str,
+        factor: float,
+        rng: np.random.Generator,
+        round_idx: int = 0,
+        noise: float = 0.0,
+        mode: str = "dup",
+    ) -> None:
+        """Function-preserving widen of one cell (Net2WiderNet).
+
+        Output-widening cells propagate a :class:`WidenMapping` expansion to
+        the next cell in the chain; interface-stable cells widen internally.
+
+        ``mode="dup"`` follows the paper's stated rule (random column
+        duplication with multiplicity division); ``noise`` then perturbs the
+        duplicates to break their gradient symmetry.  ``mode="zero"`` grows
+        fresh random channels behind zeroed outgoing weights — also exactly
+        function-preserving, with immediately-trainable new capacity (see
+        :class:`repro.nn.cells.WidenMapping`).
+        """
+        idx = self.cell_index(cell_id)
+        cell = self.cells[idx]
+        if not cell.transformable:
+            raise ValueError(f"cell {cell_id} is not transformable")
+        before = cell.num_params()
+        if cell.can_widen_output:
+            if idx + 1 >= len(self.cells):
+                raise ValueError("cannot widen the terminal cell's output")
+            wm = cell.widen_output(factor, rng, noise, mode)
+            self.cells[idx + 1].expand_input(wm, rng, noise)
+        elif cell.can_widen_internal:
+            cell.widen_internal(factor, rng, noise, mode)
+        else:
+            raise ValueError(f"cell {cell_id} supports no widening")
+        cell.widen_count += 1
+        cell.last_op = "widen"
+        self.history.append(
+            TransformRecord(
+                "widen",
+                cell_id,
+                round_idx,
+                {"factor": factor, "params_before": before, "params_after": cell.num_params()},
+            )
+        )
+        self.macs()  # re-validate the chain
+
+    def deepen_after(
+        self, cell_id: str, rng: np.random.Generator, count: int = 1, round_idx: int = 0
+    ) -> list[str]:
+        """Insert ``count`` identity cells right after ``cell_id`` (Net2DeeperNet)."""
+        idx = self.cell_index(cell_id)
+        anchor = self.cells[idx]
+        inserted: list[str] = []
+        for offset in range(count):
+            new_cell = self._make_identity_like(anchor, rng)
+            self.cells.insert(idx + 1 + offset, new_cell)
+            inserted.append(new_cell.cell_id)
+        anchor.last_op = "deepen"
+        self.history.append(
+            TransformRecord("deepen", cell_id, round_idx, {"inserted": inserted})
+        )
+        self.macs()
+        return inserted
+
+    @staticmethod
+    def _make_identity_like(anchor: Cell, rng: np.random.Generator) -> Cell:
+        """Build an identity cell compatible with ``anchor``'s output."""
+        if anchor.out_interface == "chw":
+            if isinstance(anchor, ResidualConvCell):
+                return ResidualConvCell.identity(anchor.out_dim)
+            return ConvCell.identity(anchor.out_dim)
+        if anchor.out_interface == "flat":
+            return DenseCell.identity(anchor.out_dim)
+        if anchor.out_interface == "tokens":
+            if not isinstance(anchor, ViTCell):
+                raise ValueError("token identity cells require a ViT anchor")
+            return ViTCell.identity(anchor.out_dim, anchor.attn.heads, anchor.hidden_dim, rng)
+        raise ValueError(f"unknown interface {anchor.out_interface}")
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable architecture table."""
+        lines = [
+            f"model {self.model_id} (parent={self.parent_id}) "
+            f"macs={self.macs():,} params={self.num_params():,}"
+        ]
+        shape = self.input_shape
+        for cell in self.cells:
+            m, shape = cell.macs(shape)
+            flags = "" if cell.transformable else " [fixed]"
+            lines.append(
+                f"  {cell.cell_id:<8} {cell.kind:<10} out={shape} "
+                f"params={cell.num_params():>8,} macs={m:>12,}{flags}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CellModel {self.model_id} cells={len(self.cells)} macs={self.macs():,}>"

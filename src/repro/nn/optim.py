@@ -1,0 +1,117 @@
+"""Optimizers.
+
+Two kinds live here:
+
+* **Local optimizers** (:class:`SGD`) drive the client-side steps of local
+  training.  They operate directly on a model's live parameter tree.
+* **Server optimizers** (:class:`ServerSGD`, :class:`Yogi`) consume the
+  *pseudo-gradient* (global weights minus aggregated client weights) and
+  produce the next global weights.  ``Yogi`` implements the adaptive server
+  update used by the paper's FedYogi baseline (Reddi et al., "Adaptive
+  Federated Optimization").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from .param_ops import ParamTree, tree_copy
+
+__all__ = ["SGD", "ServerSGD", "Yogi"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    Operates in place on the live ``params`` references a model exposes, so a
+    single optimizer instance follows the model through structural
+    transformations as long as :meth:`reset` is called after a transform (the
+    momentum buffers are keyed by parameter name and validated by shape).
+    """
+
+    def __init__(self, lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def reset(self) -> None:
+        """Drop momentum state (call after a structural transform)."""
+        self._velocity.clear()
+
+    def step(self, params: Mapping[str, np.ndarray], grads: Mapping[str, np.ndarray]) -> None:
+        """Apply one update in place."""
+        for name, p in params.items():
+            g = grads[name]
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            if self.momentum:
+                v = self._velocity.get(name)
+                if v is None or v.shape != p.shape:
+                    v = np.zeros_like(p)
+                v = self.momentum * v + g
+                self._velocity[name] = v
+                g = v
+            p -= self.lr * g
+
+
+class ServerSGD:
+    """Plain server update: ``w <- w - lr * pseudo_grad`` (lr=1 is FedAvg)."""
+
+    def __init__(self, lr: float = 1.0):
+        self.lr = lr
+
+    def step(self, weights: ParamTree, pseudo_grad: Mapping[str, np.ndarray]) -> ParamTree:
+        return {k: weights[k] - self.lr * pseudo_grad[k] for k in weights}
+
+
+class Yogi:
+    """Yogi adaptive server optimizer (the FedYogi server step).
+
+    ``v`` grows only where the squared pseudo-gradient exceeds it, which keeps
+    the effective step size from collapsing under heterogeneous client
+    updates — the property FedYogi relies on in non-IID FL.
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.99,
+        tau: float = 1e-3,
+    ):
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.tau = tau
+        self._m: ParamTree | None = None
+        self._v: ParamTree | None = None
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+
+    def step(self, weights: ParamTree, pseudo_grad: Mapping[str, np.ndarray]) -> ParamTree:
+        if self._m is None or self._m.keys() != weights.keys() or any(
+            self._m[k].shape != weights[k].shape for k in weights
+        ):
+            self._m = {k: np.zeros_like(v) for k, v in weights.items()}
+            self._v = {k: np.full_like(v, self.tau**2) for k, v in weights.items()}
+        out: ParamTree = {}
+        for k, w in weights.items():
+            g = pseudo_grad[k]
+            self._m[k] = self.beta1 * self._m[k] + (1 - self.beta1) * g
+            g2 = g * g
+            self._v[k] = self._v[k] - (1 - self.beta2) * g2 * np.sign(self._v[k] - g2)
+            out[k] = w - self.lr * self._m[k] / (np.sqrt(self._v[k]) + self.tau)
+        return out
+
+    def snapshot(self) -> tuple[ParamTree | None, ParamTree | None]:
+        """Copies of the optimizer state, for tests and checkpointing."""
+        m = tree_copy(self._m) if self._m is not None else None
+        v = tree_copy(self._v) if self._v is not None else None
+        return m, v

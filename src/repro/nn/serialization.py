@@ -1,0 +1,206 @@
+"""Model checkpointing: save/load CellModels with full lineage metadata.
+
+A checkpoint is a single ``.npz`` file holding every parameter and state
+tensor plus a JSON header describing the architecture (cell types, shapes,
+lineage ids, transform history).  ``load_model`` reconstructs the exact
+architecture — including widened widths and inserted identity cells — and
+restores the weights, so a FedTrans model suite can be persisted mid-run
+and resumed or deployed later.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .cells import (
+    Cell,
+    ConvCell,
+    ConvClassifierCell,
+    DenseCell,
+    FlatClassifierCell,
+    ResidualConvCell,
+    TokenClassifierCell,
+    ViTCell,
+    ViTStemCell,
+)
+from .model import CellModel, TransformRecord
+
+__all__ = ["save_model", "load_model", "model_spec", "model_from_spec"]
+
+
+def _cell_spec(cell: Cell) -> dict:
+    """JSON-serializable architecture description of one cell."""
+    spec: dict = {
+        "type": type(cell).__name__,
+        "cell_id": cell.cell_id,
+        "origin": cell.origin,
+        "widen_count": cell.widen_count,
+        "last_op": cell.last_op,
+        "transformable": cell.transformable,
+    }
+    if isinstance(cell, ConvCell):
+        spec.update(
+            in_channels=cell.in_dim,
+            out_channels=cell.out_dim,
+            kernel=cell.conv.kernel,
+            stride=cell.conv.stride,
+            norm=cell.bn is not None,
+            pool=cell._pool_kind,
+        )
+    elif isinstance(cell, ResidualConvCell):
+        spec.update(
+            in_channels=cell.in_dim,
+            out_channels=cell.out_dim,
+            hidden=cell.hidden_dim,
+            stride=cell.conv1.stride,
+        )
+    elif isinstance(cell, DenseCell):
+        spec.update(in_features=cell.in_dim, out_features=cell.out_dim)
+    elif isinstance(cell, ViTCell):
+        spec.update(dim=cell.in_dim, heads=cell.attn.heads, mlp_hidden=cell.hidden_dim)
+    elif isinstance(cell, ViTStemCell):
+        spec.update(
+            in_channels=cell.embed.in_channels,
+            image_size=cell.embed.image_size,
+            patch=cell.embed.patch,
+            dim=cell.embed.dim,
+        )
+    elif isinstance(cell, (ConvClassifierCell, FlatClassifierCell, TokenClassifierCell)):
+        spec.update(in_dim=cell.in_dim, num_classes=cell.out_dim)
+    else:  # pragma: no cover - future cell types
+        raise TypeError(f"cannot serialize cell type {type(cell).__name__}")
+    return spec
+
+
+def _cell_from_spec(spec: dict) -> Cell:
+    """Rebuild a cell (random weights; caller restores the real ones)."""
+    rng = np.random.default_rng(0)
+    kind = spec["type"]
+    if kind == "ConvCell":
+        cell: Cell = ConvCell(
+            spec["in_channels"],
+            spec["out_channels"],
+            rng,
+            kernel=spec["kernel"],
+            stride=spec["stride"],
+            norm=spec["norm"],
+            pool=spec["pool"],
+            transformable=spec["transformable"],
+            cell_id=spec["cell_id"],
+        )
+    elif kind == "ResidualConvCell":
+        cell = ResidualConvCell(
+            spec["in_channels"],
+            spec["out_channels"],
+            rng,
+            hidden=spec["hidden"],
+            stride=spec["stride"],
+            transformable=spec["transformable"],
+            cell_id=spec["cell_id"],
+        )
+    elif kind == "DenseCell":
+        cell = DenseCell(
+            spec["in_features"],
+            spec["out_features"],
+            rng,
+            transformable=spec["transformable"],
+            cell_id=spec["cell_id"],
+        )
+    elif kind == "ViTCell":
+        cell = ViTCell(
+            spec["dim"],
+            spec["heads"],
+            spec["mlp_hidden"],
+            rng,
+            transformable=spec["transformable"],
+            cell_id=spec["cell_id"],
+        )
+    elif kind == "ViTStemCell":
+        cell = ViTStemCell(
+            spec["in_channels"],
+            spec["image_size"],
+            spec["patch"],
+            spec["dim"],
+            rng,
+            cell_id=spec["cell_id"],
+        )
+    elif kind == "ConvClassifierCell":
+        cell = ConvClassifierCell(spec["in_dim"], spec["num_classes"], rng, cell_id=spec["cell_id"])
+    elif kind == "FlatClassifierCell":
+        cell = FlatClassifierCell(spec["in_dim"], spec["num_classes"], rng, cell_id=spec["cell_id"])
+    elif kind == "TokenClassifierCell":
+        cell = TokenClassifierCell(spec["in_dim"], spec["num_classes"], rng, cell_id=spec["cell_id"])
+    else:
+        raise TypeError(f"unknown cell type {kind!r} in checkpoint")
+    cell.origin = spec["origin"]
+    cell.widen_count = spec["widen_count"]
+    cell.last_op = spec["last_op"]
+    return cell
+
+
+def model_spec(model: CellModel) -> dict:
+    """Architecture + lineage of a model as a JSON-serializable dict."""
+    return {
+        "format": 1,
+        "model_id": model.model_id,
+        "parent_id": model.parent_id,
+        "birth_round": model.birth_round,
+        "input_shape": list(model.input_shape),
+        "num_classes": model.num_classes,
+        "cells": [_cell_spec(c) for c in model.cells],
+        "history": [
+            {"op": h.op, "cell_id": h.cell_id, "round": h.round, "detail": h.detail}
+            for h in model.history
+        ],
+    }
+
+
+def model_from_spec(spec: dict) -> CellModel:
+    """Rebuild the architecture described by :func:`model_spec`."""
+    if spec.get("format") != 1:
+        raise ValueError(f"unsupported checkpoint format {spec.get('format')!r}")
+    model = CellModel(
+        [_cell_from_spec(c) for c in spec["cells"]],
+        tuple(spec["input_shape"]),
+        spec["num_classes"],
+        model_id=spec["model_id"],
+        parent_id=spec["parent_id"],
+        birth_round=spec["birth_round"],
+    )
+    model.history = [
+        TransformRecord(h["op"], h["cell_id"], h["round"], h["detail"])
+        for h in spec["history"]
+    ]
+    return model
+
+
+def save_model(model: CellModel, path: str | Path) -> None:
+    """Write the model (architecture + weights + BN state) to ``path``."""
+    arrays = {f"param::{k}": v for k, v in model.params().items()}
+    arrays.update({f"state::{k}": v for k, v in model.state().items()})
+    arrays["__spec__"] = np.frombuffer(
+        json.dumps(model_spec(model)).encode(), dtype=np.uint8
+    )
+    with open(path, "wb") as f:
+        np.savez(f, **arrays)
+
+
+def load_model(path: str | Path) -> CellModel:
+    """Reconstruct a model saved by :func:`save_model`."""
+    with np.load(path) as data:
+        spec = json.loads(bytes(data["__spec__"]).decode())
+        model = model_from_spec(spec)
+        params = {
+            k[len("param::"):]: data[k] for k in data.files if k.startswith("param::")
+        }
+        state = {
+            k[len("state::"):]: data[k] for k in data.files if k.startswith("state::")
+        }
+    model.set_params(params)
+    if state:
+        model.set_state(state)
+    return model

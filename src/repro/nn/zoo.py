@@ -1,0 +1,163 @@
+"""Model zoo: the architecture families used across the experiments.
+
+The paper's initial models (NASBench201 base cell, MobileNetV3-small, a
+trimmed ResNet18) are proprietary to their frameworks; here each is mapped
+to a cell-based analogue of matching *role*:
+
+* :func:`small_cnn` — the generic initial model: conv stem, a few conv
+  cells, global-average-pool classifier (NASBench201-base analogue).
+* :func:`small_resnet` — residual initial model (trimmed-ResNet18 analogue,
+  used for the Speech/OpenImage-like workloads).
+* :func:`mlp` — flat dense-cell model; the fastest substrate, used by the
+  scaled-down bench profiles.
+* :func:`vit_tiny` — transformer model for the Table 4 experiment.
+* :func:`complexity_ladder` — a family with roughly doubling MACs per level,
+  the analogue of the 7 NASBench201 complexity levels in Fig. 1b.
+* :func:`reference_device_models` — three models with distinct complexity
+  for the Fig. 1a latency study (MobileNet-V2/V3, EfficientNet-B4 roles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cells import (
+    ConvCell,
+    ConvClassifierCell,
+    DenseCell,
+    FlatClassifierCell,
+    ResidualConvCell,
+    TokenClassifierCell,
+    ViTCell,
+    ViTStemCell,
+)
+from .model import CellModel
+
+__all__ = [
+    "small_cnn",
+    "small_resnet",
+    "mlp",
+    "vit_tiny",
+    "complexity_ladder",
+    "reference_device_models",
+]
+
+
+def small_cnn(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    rng: np.random.Generator,
+    width: int = 8,
+    depth: int = 2,
+    pool_first: bool = True,
+) -> CellModel:
+    """Conv stem + ``depth`` transformable conv cells + GAP classifier."""
+    c, h, w = input_shape
+    cells = [
+        ConvCell(c, width, rng, pool="max" if pool_first and h >= 8 else None,
+                 transformable=False)
+    ]
+    for _ in range(depth):
+        cells.append(ConvCell(width, width, rng))
+    cells.append(ConvClassifierCell(width, num_classes, rng))
+    return CellModel(cells, input_shape, num_classes)
+
+
+def small_resnet(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    rng: np.random.Generator,
+    width: int = 8,
+    blocks: int = 2,
+) -> CellModel:
+    """Conv stem + ``blocks`` residual cells + GAP classifier."""
+    c, h, w = input_shape
+    cells = [
+        ConvCell(c, width, rng, pool="max" if h >= 8 else None, transformable=False)
+    ]
+    for _ in range(blocks):
+        cells.append(ResidualConvCell(width, width, rng))
+    cells.append(ConvClassifierCell(width, num_classes, rng))
+    return CellModel(cells, input_shape, num_classes)
+
+
+def mlp(
+    input_shape: tuple[int, ...],
+    num_classes: int,
+    rng: np.random.Generator,
+    width: int = 32,
+    depth: int = 2,
+) -> CellModel:
+    """Dense-cell model over flat features; the fast bench substrate."""
+    (features,) = input_shape
+    cells = [DenseCell(features, width, rng, transformable=False)]
+    for _ in range(depth - 1):
+        cells.append(DenseCell(width, width, rng))
+    cells.append(FlatClassifierCell(width, num_classes, rng))
+    return CellModel(cells, input_shape, num_classes)
+
+
+def vit_tiny(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    rng: np.random.Generator,
+    dim: int = 16,
+    heads: int = 2,
+    mlp_hidden: int = 32,
+    depth: int = 2,
+    patch: int = 4,
+) -> CellModel:
+    """Small ViT: patch stem + ``depth`` encoder cells + token classifier."""
+    c, h, w = input_shape
+    if h != w:
+        raise ValueError("vit_tiny expects square inputs")
+    cells = [ViTStemCell(c, h, patch, dim, rng)]
+    for _ in range(depth):
+        cells.append(ViTCell(dim, heads, mlp_hidden, rng))
+    cells.append(TokenClassifierCell(dim, num_classes, rng))
+    return CellModel(cells, input_shape, num_classes)
+
+
+def complexity_ladder(
+    input_shape: tuple[int, ...],
+    num_classes: int,
+    rng: np.random.Generator,
+    levels: int = 7,
+    base_width: int = 8,
+    kind: str = "auto",
+) -> list[CellModel]:
+    """A family of models whose MACs roughly double per level.
+
+    Conv/dense MACs scale ~quadratically in width, so each level multiplies
+    the width by sqrt(2).  This mirrors the Fig. 1b setup of seven
+    NASBench201 models where "each increase [in complexity level] doubles"
+    the MAC count.
+    """
+    if kind == "auto":
+        kind = "cnn" if len(input_shape) == 3 else "mlp"
+    models = []
+    for level in range(levels):
+        width = max(2, int(round(base_width * (2 ** (level / 2)))))
+        if kind == "cnn":
+            models.append(small_cnn(input_shape, num_classes, rng, width=width))
+        else:
+            models.append(mlp(input_shape, num_classes, rng, width=width))
+    return models
+
+
+def reference_device_models(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    rng: np.random.Generator,
+) -> dict[str, CellModel]:
+    """Three models of distinct complexity, standing in for the Fig. 1a trio.
+
+    Roles (not weights) of MobileNet-V2 < MobileNet-V3 < EfficientNet-B4:
+    complexity strictly increases so their latency distributions across a
+    heterogeneous device fleet spread and overlap like the paper's figure.
+    """
+    return {
+        "mobilenet_v2_like": small_cnn(input_shape, num_classes, rng, width=8, depth=2),
+        "mobilenet_v3_like": small_cnn(input_shape, num_classes, rng, width=16, depth=3),
+        "efficientnet_b4_like": small_cnn(input_shape, num_classes, rng, width=32, depth=4),
+    }

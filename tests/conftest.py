@@ -1,0 +1,15 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def make_rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)

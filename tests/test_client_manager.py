@@ -1,0 +1,152 @@
+"""Client Manager: utility sampling (Eqs. 2-3) and joint updates (Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.client_manager import ClientManager, SimilarityCache
+from repro.fl.types import ClientUpdate
+from repro.nn import mlp
+
+
+def _update(client_id, model_id, loss, samples=10):
+    return ClientUpdate(
+        client_id=client_id,
+        model_id=model_id,
+        params={},
+        state={},
+        grad={},
+        train_loss=loss,
+        num_samples=samples,
+        macs_spent=0.0,
+        bytes_down=0,
+        bytes_up=0,
+        round_time=0.0,
+    )
+
+
+class TestSampling:
+    def test_probabilities_sum_to_one(self):
+        cm = ClientManager()
+        p = cm.assignment_probabilities(0, ["a", "b", "c"])
+        assert p.shape == (3,)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_uniform_when_no_history(self):
+        cm = ClientManager()
+        p = cm.assignment_probabilities(0, ["a", "b"])
+        assert np.allclose(p, 0.5)
+
+    def test_higher_utility_higher_probability(self):
+        cm = ClientManager()
+        cm._utilities[0] = {"a": 2.0, "b": 0.0}
+        p = cm.assignment_probabilities(0, ["a", "b"])
+        assert p[0] > p[1]
+        assert p[0] == pytest.approx(np.exp(2) / (np.exp(2) + 1))
+
+    def test_no_compatible_raises(self):
+        with pytest.raises(ValueError):
+            ClientManager().assignment_probabilities(0, [])
+
+    def test_sampling_follows_distribution(self, rng):
+        cm = ClientManager()
+        cm._utilities[0] = {"a": 3.0, "b": 0.0}
+        picks = [cm.sample_model(0, ["a", "b"], rng) for _ in range(300)]
+        frac_a = picks.count("a") / len(picks)
+        assert frac_a > 0.8  # softmax(3,0) ~ 0.95
+
+    def test_overflow_stability(self):
+        cm = ClientManager()
+        cm._utilities[0] = {"a": 1e4, "b": 0.0}
+        p = cm.assignment_probabilities(0, ["a", "b"])
+        assert np.isfinite(p).all()
+
+
+class TestBestModel:
+    def test_highest_utility_wins(self):
+        cm = ClientManager()
+        cm._utilities[0] = {"a": 0.1, "b": 5.0}
+        assert cm.best_model(0, ["a", "b"]) == "b"
+
+    def test_tie_breaks_by_global_mean(self):
+        cm = ClientManager()
+        cm._utilities[1] = {"a": 0.0, "b": 4.0}  # fleet likes b
+        # client 0 never participated: per-client utilities are all 0
+        assert cm.best_model(0, ["a", "b"]) == "b"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ClientManager().best_model(0, [])
+
+
+class TestRegisterModel:
+    def test_child_inherits_parent_utility(self):
+        cm = ClientManager()
+        cm._utilities[0] = {"parent": 2.5}
+        cm.register_model("child", "parent")
+        assert cm.utility(0, "child") == 2.5
+
+    def test_unseen_clients_default_zero(self):
+        cm = ClientManager()
+        cm.register_model("child", "parent")
+        assert cm.utility(42, "child") == 0.0
+
+
+class TestEq4Update:
+    def _models(self, rng):
+        parent = mlp((6,), 3, rng, width=4)
+        child = parent.clone()
+        child.widen_cell(child.transformable_cells()[0].cell_id, 2.0, rng)
+        return {parent.model_id: parent, child.model_id: child}, parent, child
+
+    def test_below_average_loss_raises_utility(self, rng):
+        models, parent, child = self._models(rng)
+        cm = ClientManager()
+        ups = [
+            _update(0, parent.model_id, loss=0.1),
+            _update(1, parent.model_id, loss=2.0),
+        ]
+        cm.update(ups, models)
+        assert cm.utility(0, parent.model_id) > 0  # low loss => more utility
+        assert cm.utility(1, parent.model_id) < 0
+
+    def test_similar_models_move_together(self, rng):
+        models, parent, child = self._models(rng)
+        cm = ClientManager()
+        ups = [
+            _update(0, parent.model_id, loss=0.1),
+            _update(1, parent.model_id, loss=2.0),
+        ]
+        cm.update(ups, models)
+        # child borrows utility in proportion to its similarity to parent
+        u_parent = cm.utility(0, parent.model_id)
+        u_child = cm.utility(0, child.model_id)
+        assert 0 < u_child < u_parent
+
+    def test_single_update_is_neutral(self, rng):
+        """With one participant, the standardized loss is zero."""
+        models, parent, _ = self._models(rng)
+        cm = ClientManager()
+        cm.update([_update(0, parent.model_id, loss=1.0)], models)
+        assert cm.utility(0, parent.model_id) == 0.0
+
+    def test_empty_updates_noop(self, rng):
+        models, _, _ = self._models(rng)
+        cm = ClientManager()
+        cm.update([], models)
+        assert cm._utilities == {}
+
+    def test_assignment_shifts_after_updates(self, rng):
+        """Soft assignment: persistent bad loss on a model steers the client
+        elsewhere (the exploration/exploitation behaviour of §4.2)."""
+        models, parent, child = self._models(rng)
+        cm = ClientManager()
+        for _ in range(5):
+            ups = [
+                _update(0, parent.model_id, loss=3.0),  # bad on parent
+                _update(1, parent.model_id, loss=0.1),
+            ]
+            cm.update(ups, models)
+        p = cm.assignment_probabilities(0, [parent.model_id, child.model_id])
+        # Client 0's parent utility is now strongly negative; the child,
+        # being similar, is dragged down less (scaled by sim < 1).
+        assert p[1] > p[0]

@@ -1,0 +1,31 @@
+"""Every example script imports cleanly (full runs are manual/demo-scale).
+
+Import errors (renamed APIs, missing symbols) are the most common way
+example code rots; importing executes everything except ``main()``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), f"{path.name} must define main()"
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 4, "the deliverable requires >= 3 runnable examples"
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

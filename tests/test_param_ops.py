@@ -1,0 +1,168 @@
+"""Parameter-tree algebra, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import param_ops as P
+
+
+def _tree(rng, keys=("a", "b"), shape=(3, 2)):
+    return {k: rng.normal(size=shape) for k in keys}
+
+
+class TestBasicOps:
+    def test_copy_is_deep(self, rng):
+        t = _tree(rng)
+        c = P.tree_copy(t)
+        c["a"][0, 0] = 99.0
+        assert t["a"][0, 0] != 99.0
+
+    def test_zeros_like(self, rng):
+        z = P.tree_zeros_like(_tree(rng))
+        assert all((v == 0).all() for v in z.values())
+
+    def test_add_sub_roundtrip(self, rng):
+        a, b = _tree(rng), _tree(rng)
+        assert P.tree_allclose(P.tree_sub(P.tree_add(a, b), b), a)
+
+    def test_key_mismatch_raises(self, rng):
+        with pytest.raises(KeyError):
+            P.tree_add(_tree(rng, keys=("a",)), _tree(rng, keys=("b",)))
+
+    def test_scale(self, rng):
+        a = _tree(rng)
+        s = P.tree_scale(a, 2.0)
+        assert np.allclose(s["a"], 2 * a["a"])
+
+    def test_axpy(self, rng):
+        y, x = _tree(rng), _tree(rng)
+        r = P.tree_axpy(y, 3.0, x)
+        assert np.allclose(r["b"], y["b"] + 3 * x["b"])
+
+    def test_norm_matches_flat(self, rng):
+        a = _tree(rng)
+        flat = np.concatenate([v.ravel() for v in a.values()])
+        assert abs(P.tree_norm(a) - np.linalg.norm(flat)) < 1e-12
+
+    def test_dot(self, rng):
+        a, b = _tree(rng), _tree(rng)
+        expected = sum((a[k] * b[k]).sum() for k in a)
+        assert abs(P.tree_dot(a, b) - expected) < 1e-12
+
+    def test_num_params_and_nbytes(self, rng):
+        a = _tree(rng, shape=(4, 5))
+        assert P.tree_num_params(a) == 40
+        assert P.tree_nbytes(a) == 40 * 8
+
+
+class TestAverage:
+    def test_plain_mean(self, rng):
+        a, b = _tree(rng), _tree(rng)
+        avg = P.tree_average([a, b])
+        assert np.allclose(avg["a"], (a["a"] + b["a"]) / 2)
+
+    def test_weighted(self, rng):
+        a, b = _tree(rng), _tree(rng)
+        avg = P.tree_average([a, b], [3.0, 1.0])
+        assert np.allclose(avg["a"], 0.75 * a["a"] + 0.25 * b["a"])
+
+    def test_weights_normalized(self, rng):
+        a, b = _tree(rng), _tree(rng)
+        assert P.tree_allclose(
+            P.tree_average([a, b], [2, 2]), P.tree_average([a, b], [5, 5])
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="zero"):
+            P.tree_average([])
+
+    def test_negative_weight_raises(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            P.tree_average([_tree(rng)], [-1.0])
+
+    def test_zero_total_raises(self, rng):
+        with pytest.raises(ValueError, match="zero"):
+            P.tree_average([_tree(rng)], [0.0])
+
+    def test_single_tree_identity(self, rng):
+        a = _tree(rng)
+        assert P.tree_allclose(P.tree_average([a]), a)
+
+
+class TestCropEmbed:
+    def test_crop(self, rng):
+        src = rng.normal(size=(4, 6))
+        out = P.crop_to_shape(src, (2, 3))
+        assert np.allclose(out, src[:2, :3])
+
+    def test_crop_rank_mismatch(self, rng):
+        with pytest.raises(ValueError, match="rank"):
+            P.crop_to_shape(rng.normal(size=(4,)), (2, 2))
+
+    def test_crop_too_small(self, rng):
+        with pytest.raises(ValueError, match="cannot crop"):
+            P.crop_to_shape(rng.normal(size=(2, 2)), (3, 2))
+
+    def test_embed(self, rng):
+        small = rng.normal(size=(2, 2))
+        big = rng.normal(size=(4, 4))
+        out = P.embed_into(small, big)
+        assert np.allclose(out[:2, :2], small)
+        assert np.allclose(out[2:, :], big[2:, :])
+
+    def test_embed_too_big(self, rng):
+        with pytest.raises(ValueError, match="cannot embed"):
+            P.embed_into(rng.normal(size=(5, 5)), rng.normal(size=(4, 4)))
+
+    def test_crop_embed_roundtrip(self, rng):
+        small = rng.normal(size=(2, 3))
+        big = rng.normal(size=(4, 5))
+        assert np.allclose(P.crop_to_shape(P.embed_into(small, big), (2, 3)), small)
+
+
+@st.composite
+def tree_pair(draw):
+    n_keys = draw(st.integers(1, 4))
+    keys = [f"k{i}" for i in range(n_keys)]
+    shapes = [
+        tuple(draw(st.lists(st.integers(1, 4), min_size=1, max_size=3)))
+        for _ in range(n_keys)
+    ]
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    a = {k: rng.normal(size=s) for k, s in zip(keys, shapes)}
+    b = {k: rng.normal(size=s) for k, s in zip(keys, shapes)}
+    return a, b
+
+
+class TestProperties:
+    @given(tree_pair())
+    @settings(max_examples=30, deadline=None)
+    def test_add_commutes(self, pair):
+        a, b = pair
+        assert P.tree_allclose(P.tree_add(a, b), P.tree_add(b, a))
+
+    @given(tree_pair())
+    @settings(max_examples=30, deadline=None)
+    def test_norm_triangle_inequality(self, pair):
+        a, b = pair
+        assert P.tree_norm(P.tree_add(a, b)) <= P.tree_norm(a) + P.tree_norm(b) + 1e-9
+
+    @given(tree_pair(), st.floats(-5, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_linearity_of_dot(self, pair, s):
+        a, b = pair
+        assert abs(P.tree_dot(P.tree_scale(a, s), b) - s * P.tree_dot(a, b)) < 1e-8
+
+    @given(tree_pair())
+    @settings(max_examples=30, deadline=None)
+    def test_average_between_extremes(self, pair):
+        a, b = pair
+        avg = P.tree_average([a, b])
+        for k in a:
+            lo = np.minimum(a[k], b[k])
+            hi = np.maximum(a[k], b[k])
+            assert np.all(avg[k] >= lo - 1e-12)
+            assert np.all(avg[k] <= hi + 1e-12)

@@ -1,0 +1,124 @@
+"""Deeper hypothesis property tests across module boundaries."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.subnet import build_subnet, param_index_map, ratio_spec, scatter_average
+from repro.core.aggregator import project_overlap
+from repro.core.doc import DoCTracker
+from repro.core.similarity import model_similarity
+from repro.nn import mlp, small_cnn
+
+
+@given(
+    seed=st.integers(0, 500),
+    n_transforms=st.integers(1, 4),
+)
+@settings(max_examples=15, deadline=None)
+def test_similarity_monotone_decreasing_along_lineage(seed, n_transforms):
+    """Each extra transformation can only reduce (or keep) similarity to the
+    root — the family tree's structure is reflected in sim()."""
+    rng = np.random.default_rng(seed)
+    root = mlp((6,), 3, rng, width=4, depth=2)
+    sims = [1.0]
+    current = root
+    for i in range(n_transforms):
+        child = current.clone()
+        cells = child.transformable_cells()
+        cell = cells[int(rng.integers(0, len(cells)))]
+        if rng.random() < 0.5:
+            child.widen_cell(cell.cell_id, 2.0, rng)
+        else:
+            child.deepen_after(cell.cell_id, rng)
+        sims.append(model_similarity(root, child))
+        current = child
+    assert all(0.0 <= s <= 1.0 for s in sims)
+    assert all(b <= a + 1e-9 for a, b in zip(sims, sims[1:]))
+
+
+@given(seed=st.integers(0, 500), ratio=st.sampled_from([0.25, 0.5, 0.75]))
+@settings(max_examples=15, deadline=None)
+def test_subnet_roundtrip_scatter_identity(seed, ratio):
+    """Scattering a subnet's own (unchanged) weights back into the global
+    model must leave the global model unchanged."""
+    rng = np.random.default_rng(seed)
+    g = mlp((6,), 3, rng, width=8, depth=2)
+    spec = ratio_spec(g, ratio)
+    sub = build_subnet(g, spec)
+    imaps = {id(spec): param_index_map(g, spec)}
+    before = g.get_params()
+    merged = scatter_average(g.params(), [(sub.get_params(), spec, 1.0)], imaps)
+    assert all(np.allclose(merged[k], before[k]) for k in before)
+
+
+@given(seed=st.integers(0, 500), ratio=st.sampled_from([0.25, 0.5]))
+@settings(max_examples=10, deadline=None)
+def test_subnet_of_cnn_shapes_consistent(seed, ratio):
+    rng = np.random.default_rng(seed)
+    g = small_cnn((1, 8, 8), 4, rng, width=8)
+    sub = build_subnet(g, ratio_spec(g, ratio))
+    x = rng.normal(size=(2, 1, 8, 8))
+    out = sub.predict(x)
+    assert out.shape == (2, 4)
+    assert np.isfinite(out).all()
+
+
+@given(
+    src_shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    dst_shape=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_project_overlap_total_coverage(src_shape, dst_shape, seed):
+    """Every output coordinate comes from exactly one of src or dst."""
+    rng = np.random.default_rng(seed)
+    src = rng.normal(size=src_shape)
+    dst = rng.normal(size=dst_shape)
+    out = project_overlap(src, dst)
+    assert out.shape == dst.shape
+    o0, o1 = min(src_shape[0], dst_shape[0]), min(src_shape[1], dst_shape[1])
+    assert np.allclose(out[:o0, :o1], src[:o0, :o1])
+    mask = np.ones(dst.shape, dtype=bool)
+    mask[:o0, :o1] = False
+    assert np.allclose(out[mask], dst[mask])
+
+
+@given(
+    losses=st.lists(st.floats(0.01, 10.0), min_size=12, max_size=40),
+    gamma=st.integers(1, 4),
+    delta=st.integers(1, 4),
+)
+@settings(max_examples=40, deadline=None)
+def test_doc_matches_direct_formula(losses, gamma, delta):
+    doc = DoCTracker(gamma, delta)
+    for l in losses:
+        doc.update(l)
+    if len(losses) < gamma + delta:
+        assert doc.value() is None
+        return
+    n = len(losses)
+    expected = (
+        sum((losses[j - delta] - losses[j]) / delta for j in range(n - gamma, n)) / gamma
+    )
+    assert abs(doc.value() - expected) < 1e-12
+
+
+@given(seed=st.integers(0, 300))
+@settings(max_examples=15, deadline=None)
+def test_widen_then_narrow_roundtrip_shapes(seed):
+    """Narrowing a widened model back to the original width restores the
+    original tensor shapes (weights differ by the duplication arithmetic)."""
+    rng = np.random.default_rng(seed)
+    m = mlp((6,), 3, rng, width=4, depth=2)
+    orig_shapes = {k: v.shape for k, v in m.params().items()}
+    cell = m.transformable_cells()[0]
+    m.widen_cell(cell.cell_id, 2.0, rng)
+    spec = ratio_spec(m, 0.5)
+    # restrict the spec to just the widened cell (others keep full width)
+    from repro.baselines.subnet import SubnetSpec
+
+    spec = SubnetSpec(keep_out={cell.cell_id: np.arange(4)}, keep_hidden={})
+    sub = build_subnet(m, spec)
+    for k, v in sub.params().items():
+        assert v.shape == orig_shapes[k], k

@@ -1,0 +1,147 @@
+"""Checkpointing, log export, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.fl.export import load_log, log_to_dict, save_log
+from repro.nn import mlp, small_cnn, small_resnet, vit_tiny
+from repro.nn.serialization import load_model, model_from_spec, model_spec, save_model
+
+
+class TestModelCheckpoints:
+    @pytest.mark.parametrize(
+        "maker,shape",
+        [
+            (lambda r: mlp((6,), 4, r, width=8), (6,)),
+            (lambda r: small_cnn((1, 8, 8), 4, r, width=4), (1, 8, 8)),
+            (lambda r: small_resnet((1, 8, 8), 4, r, width=4), (1, 8, 8)),
+            (
+                lambda r: vit_tiny((1, 8, 8), 4, r, dim=8, heads=2, mlp_hidden=12, patch=4),
+                (1, 8, 8),
+            ),
+        ],
+    )
+    def test_roundtrip_preserves_predictions(self, maker, shape, rng, tmp_path):
+        m = maker(rng)
+        x = rng.normal(size=(4,) + shape)
+        path = tmp_path / "model.npz"
+        save_model(m, path)
+        loaded = load_model(path)
+        assert np.allclose(m.predict(x), loaded.predict(x), atol=1e-12)
+        assert loaded.model_id == m.model_id
+        assert loaded.macs() == m.macs()
+
+    def test_roundtrip_transformed_model(self, rng, tmp_path):
+        """Widened widths, inserted cells, and lineage metadata survive."""
+        m = mlp((6,), 4, rng, width=8)
+        cell = m.transformable_cells()[0]
+        m.widen_cell(cell.cell_id, 2.0, rng, round_idx=5)
+        m.deepen_after(cell.cell_id, rng, round_idx=9)
+        path = tmp_path / "grown.npz"
+        save_model(m, path)
+        loaded = load_model(path)
+        x = rng.normal(size=(4, 6))
+        assert np.allclose(m.predict(x), loaded.predict(x), atol=1e-12)
+        assert [c.cell_id for c in loaded.cells] == [c.cell_id for c in m.cells]
+        assert loaded.get_cell(cell.cell_id).widen_count == 1
+        assert loaded.get_cell(cell.cell_id).last_op == "deepen"
+        assert [h.op for h in loaded.history] == ["widen", "deepen"]
+
+    def test_bn_state_restored(self, rng, tmp_path):
+        m = small_cnn((1, 8, 8), 4, rng, width=4)
+        m.forward(rng.normal(size=(8, 1, 8, 8)), train=True)  # move running stats
+        path = tmp_path / "bn.npz"
+        save_model(m, path)
+        loaded = load_model(path)
+        for k, v in m.state().items():
+            assert np.allclose(loaded.state()[k], v)
+
+    def test_spec_roundtrip_without_weights(self, rng):
+        m = small_resnet((1, 8, 8), 4, rng, width=4)
+        rebuilt = model_from_spec(model_spec(m))
+        assert rebuilt.macs() == m.macs()
+        assert rebuilt.num_params() == m.num_params()
+
+    def test_bad_format_rejected(self, rng):
+        m = mlp((6,), 4, rng, width=8)
+        spec = model_spec(m)
+        spec["format"] = 99
+        with pytest.raises(ValueError, match="unsupported"):
+            model_from_spec(spec)
+
+
+class TestLogExport:
+    def _tiny_log(self):
+        from repro.bench import active_profile, build_dataset, run_method
+
+        profile = active_profile("femnist_like").with_(rounds=8, eval_every=4, scale=0.004)
+        ds = build_dataset(profile, seed=0)
+        return run_method("fedtrans", ds, profile, seed=0).log
+
+    def test_dict_fields(self):
+        log = self._tiny_log()
+        d = log_to_dict(log)
+        assert d["strategy"] == "fedtrans"
+        assert len(d["rounds"]) == len(log.rounds)
+        assert len(d["evals"]) == len(log.evals)
+        assert d["summary"]["method"] == "fedtrans"
+        json.dumps(d)  # fully serializable
+
+    def test_save_load_roundtrip(self, tmp_path):
+        log = self._tiny_log()
+        path = tmp_path / "log.json"
+        save_log(log, path)
+        loaded = load_log(path)
+        assert loaded["totals"]["macs"] == log.total_macs
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 2}')
+        with pytest.raises(ValueError, match="unsupported"):
+            load_log(path)
+
+
+class TestCLI:
+    def test_profiles_command(self, capsys):
+        assert cli_main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "femnist_like" in out
+        assert "tiny" in out
+
+    def test_run_command(self, capsys, tmp_path):
+        rc = cli_main(
+            [
+                "run",
+                "--dataset", "femnist_like",
+                "--method", "fedavg",
+                "--rounds", "4",
+                "--seed", "1",
+                "--save-log", str(tmp_path / "log.json"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fedavg" in out
+        assert (tmp_path / "log.json").exists()
+
+    def test_run_fedtrans_with_checkpoints(self, capsys, tmp_path):
+        rc = cli_main(
+            [
+                "run",
+                "--method", "fedtrans",
+                "--rounds", "6",
+                "--save-models", str(tmp_path / "models"),
+            ]
+        )
+        assert rc == 0
+        saved = list((tmp_path / "models").glob("*.npz"))
+        assert saved
+        loaded = load_model(saved[0])
+        assert loaded.macs() > 0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "--method", "nope"])

@@ -1,0 +1,202 @@
+"""Architectural similarity (§4.2) and the transform policy (§4.1, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.client_manager import SimilarityCache
+from repro.core.similarity import cell_matching_degree, model_similarity
+from repro.core.transform import (
+    apply_transform,
+    reinitialize,
+    select_cells,
+    select_cells_random,
+)
+from repro.nn import mlp
+
+
+class TestSimilarity:
+    def test_self_similarity_is_one(self, rng):
+        m = mlp((6,), 3, rng, width=4)
+        assert model_similarity(m, m) == 1.0
+
+    def test_identical_clone_similarity_one(self, rng):
+        m = mlp((6,), 3, rng, width=4)
+        assert model_similarity(m, m.clone()) == 1.0
+
+    def test_widened_child_ratio(self, rng):
+        parent = mlp((6,), 3, rng, width=4)
+        child = parent.clone()
+        cid = child.transformable_cells()[0].cell_id
+        child.widen_cell(cid, 2.0, rng)
+        sim = model_similarity(parent, child)
+        # matching degrees: widened cell p/p', its consumer p/p', others 1
+        degrees = [
+            cell_matching_degree(cell, parent) for cell in child.cells
+        ]
+        assert sim == pytest.approx(max(0.0, min(1.0, sum(degrees) / len(degrees))))
+        assert 0.0 < sim < 1.0
+
+    def test_inserted_cell_degree_zero(self, rng):
+        parent = mlp((6,), 3, rng, width=4)
+        child = parent.clone()
+        cid = child.transformable_cells()[0].cell_id
+        inserted = child.deepen_after(cid, rng)
+        cell = child.get_cell(inserted[0])
+        assert cell_matching_degree(cell, parent) == 0.0
+
+    def test_deepened_child_similarity(self, rng):
+        parent = mlp((6,), 3, rng, width=4)  # 3 cells
+        child = parent.clone()
+        child.deepen_after(child.transformable_cells()[0].cell_id, rng)
+        # 3 inherited cells (degree 1) + 1 inserted (degree 0) over 4 cells
+        assert model_similarity(parent, child) == pytest.approx(3 / 4)
+
+    def test_bounds(self, rng):
+        parent = mlp((6,), 3, rng, width=4)
+        child = parent.clone()
+        for _ in range(3):
+            cells = child.transformable_cells()
+            child.widen_cell(cells[0].cell_id, 2.0, rng)
+            child.deepen_after(cells[-1].cell_id, rng)
+        s = model_similarity(parent, child)
+        assert 0.0 <= s <= 1.0
+
+    def test_widen_ratio_symmetric_degree(self, rng):
+        parent = mlp((6,), 3, rng, width=4)
+        child = parent.clone()
+        cid = child.transformable_cells()[0].cell_id
+        child.widen_cell(cid, 2.0, rng)
+        d_child_vs_parent = cell_matching_degree(child.get_cell(cid), parent)
+        d_parent_vs_child = cell_matching_degree(parent.get_cell(cid), child)
+        assert d_child_vs_parent == pytest.approx(d_parent_vs_child)
+
+    def test_cache_returns_same_value(self, rng):
+        cache = SimilarityCache()
+        parent = mlp((6,), 3, rng, width=4)
+        child = parent.clone()
+        child.widen_cell(child.transformable_cells()[0].cell_id, 2.0, rng)
+        v1 = cache.get(parent, child)
+        v2 = cache.get(parent, child)
+        assert v1 == v2 == model_similarity(parent, child)
+
+
+class TestSelectCells:
+    def test_alpha_selects_above_threshold(self):
+        act = {"a": 1.0, "b": 0.95, "c": 0.5}
+        assert set(select_cells(act, alpha=0.9)) == {"a", "b"}
+
+    def test_alpha_one_selects_only_max(self):
+        act = {"a": 1.0, "b": 0.99}
+        assert select_cells(act, alpha=1.0) == ["a"]
+
+    def test_low_alpha_selects_all(self):
+        act = {"a": 1.0, "b": 0.2}
+        assert set(select_cells(act, alpha=0.1)) == {"a", "b"}
+
+    def test_empty_activeness(self):
+        assert select_cells({}, 0.9) == []
+
+    def test_zero_activeness(self):
+        assert select_cells({"a": 0.0, "b": 0.0}, 0.9) == []
+
+    def test_random_selection_transformable_only(self, rng):
+        m = mlp((6,), 3, rng, width=4, depth=3)
+        picked = select_cells_random(m, rng, count=2)
+        transformable = {c.cell_id for c in m.transformable_cells()}
+        assert len(picked) == 2
+        assert set(picked) <= transformable
+
+
+class TestApplyTransform:
+    def test_first_transform_widens(self, rng):
+        m = mlp((6,), 3, rng, width=4)
+        cell = m.transformable_cells()[0]
+        events = apply_transform(m, [cell.cell_id], rng, 2.0, 1, round_idx=0)
+        assert any("widen" in e for e in events)
+        assert cell.last_op == "widen"
+
+    def test_second_transform_deepens(self, rng):
+        """Fig. 5: a cell widened last time is deepened next time."""
+        m = mlp((6,), 3, rng, width=4)
+        cell = m.transformable_cells()[0]
+        apply_transform(m, [cell.cell_id], rng, 2.0, 1, round_idx=0)
+        events = apply_transform(m, [cell.cell_id], rng, 2.0, 1, round_idx=1)
+        assert any("deepen" in e for e in events)
+        assert cell.last_op == "deepen"
+
+    def test_alternation_carries_through_clone(self, rng):
+        """The widen/deepen marker survives cloning (model generations)."""
+        m = mlp((6,), 3, rng, width=4)
+        cell_id = m.transformable_cells()[0].cell_id
+        apply_transform(m, [cell_id], rng, 2.0, 1, round_idx=0)
+        child = m.clone()
+        events = apply_transform(child, [cell_id], rng, 2.0, 1, round_idx=1)
+        assert any("deepen" in e for e in events)
+
+    def test_deepen_count(self, rng):
+        m = mlp((6,), 3, rng, width=4)
+        cell = m.transformable_cells()[0]
+        cell.last_op = "widen"
+        n_before = len(m.cells)
+        apply_transform(m, [cell.cell_id], rng, 2.0, 3, round_idx=0)
+        assert len(m.cells) == n_before + 3
+
+    def test_untransformable_skipped(self, rng):
+        m = mlp((6,), 3, rng, width=4)
+        stem = m.cells[0]
+        events = apply_transform(m, [stem.cell_id], rng, 2.0, 1, round_idx=0)
+        assert events == []
+
+    def test_function_preserved_through_policy(self, rng):
+        m = mlp((6,), 3, rng, width=4)
+        x = rng.normal(size=(5, 6))
+        before = m.predict(x)
+        ids = [c.cell_id for c in m.transformable_cells()]
+        apply_transform(m, ids, rng, 2.0, 1, round_idx=0)
+        apply_transform(m, ids, rng, 2.0, 1, round_idx=1)
+        assert np.allclose(before, m.predict(x), atol=1e-8)
+
+
+class TestReinitialize:
+    def test_changes_weights_keeps_shapes(self, rng):
+        m = mlp((6,), 3, rng, width=4)
+        before = m.get_params()
+        reinitialize(m, rng)
+        after = m.params()
+        assert all(after[k].shape == before[k].shape for k in before)
+        moved = [k for k in before if not np.allclose(before[k], after[k])]
+        assert any(k.endswith(".w") for k in moved)
+
+    def test_biases_zeroed(self, rng):
+        m = mlp((6,), 3, rng, width=4)
+        for p in m.params().values():
+            p += 1.0
+        reinitialize(m, rng)
+        for k, v in m.params().items():
+            if k.endswith(".b"):
+                assert np.all(v == 0.0)
+
+    def test_bn_state_reset(self, rng):
+        from repro.nn import small_cnn
+
+        m = small_cnn((1, 8, 8), 3, rng, width=4)
+        for s in m.state().values():
+            s += 3.0
+        reinitialize(m, rng)
+        for k, v in m.state().items():
+            if k.endswith("running_mean"):
+                assert np.all(v == 0.0)
+            if k.endswith("running_var"):
+                assert np.all(v == 1.0)
+
+    def test_gamma_reset_to_one(self, rng):
+        from repro.nn import small_cnn
+
+        m = small_cnn((1, 8, 8), 3, rng, width=4)
+        for k, v in m.params().items():
+            if k.endswith("gamma"):
+                v *= 5.0
+        reinitialize(m, rng)
+        for k, v in m.params().items():
+            if k.endswith("gamma"):
+                assert np.all(v == 1.0)

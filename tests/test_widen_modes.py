@@ -1,0 +1,119 @@
+"""Both widening schemes: duplication (paper rule) and zero-expansion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import mlp, small_cnn, small_resnet, vit_tiny
+from repro.nn.cells import make_widen_mapping
+from repro.nn.optim import SGD
+
+
+class TestMakeWidenMapping:
+    def test_zero_mode_flag(self, rng):
+        wm = make_widen_mapping(4, 2.0, rng, mode="zero")
+        assert wm.zero_new
+        assert not make_widen_mapping(4, 2.0, rng, mode="dup").zero_new
+
+    def test_unknown_mode(self, rng):
+        with pytest.raises(ValueError, match="unknown widen mode"):
+            make_widen_mapping(4, 2.0, rng, mode="nope")
+
+
+@pytest.mark.parametrize("mode", ["dup", "zero"])
+@pytest.mark.parametrize(
+    "maker,shape",
+    [
+        (lambda r: mlp((6,), 4, r, width=8), (6,)),
+        (lambda r: small_cnn((1, 8, 8), 4, r, width=4), (1, 8, 8)),
+        (lambda r: small_resnet((1, 8, 8), 4, r, width=4), (1, 8, 8)),
+        (
+            lambda r: vit_tiny((1, 8, 8), 4, r, dim=8, heads=2, mlp_hidden=12, patch=4),
+            (1, 8, 8),
+        ),
+    ],
+)
+def test_both_modes_function_preserving(mode, maker, shape, rng):
+    m = maker(rng)
+    x = rng.normal(size=(4,) + shape)
+    before = m.predict(x)
+    for cell in m.transformable_cells():
+        m.widen_cell(cell.cell_id, 2.0, rng, noise=0.0, mode=mode)
+    assert np.allclose(before, m.predict(x), atol=1e-8)
+
+
+class TestZeroModeCapacity:
+    def test_new_channels_are_fresh_not_duplicates(self, rng):
+        m = mlp((6,), 3, rng, width=4)
+        cell = m.transformable_cells()[0]
+        m.widen_cell(cell.cell_id, 2.0, rng, mode="zero")
+        w = cell.params()["fc.w"]
+        for j in range(4, 8):
+            for i in range(4):
+                assert not np.allclose(w[:, j], w[:, i])
+
+    def test_consumer_new_columns_zero(self, rng):
+        m = mlp((6,), 3, rng, width=4)
+        cell = m.transformable_cells()[0]
+        idx = m.cell_index(cell.cell_id)
+        m.widen_cell(cell.cell_id, 2.0, rng, mode="zero")
+        consumer = m.cells[idx + 1]
+        key = "fc.w" if "fc.w" in consumer.params() else "head.w"
+        assert np.all(consumer.params()[key][4:] == 0.0)
+
+    def test_new_pathway_trains_immediately(self, rng):
+        """Unlike exact duplicates, zero-expanded channels get nonzero
+        outgoing-weight gradients from step one."""
+        m = mlp((6,), 3, rng, width=4)
+        cell = m.transformable_cells()[0]
+        idx = m.cell_index(cell.cell_id)
+        m.widen_cell(cell.cell_id, 2.0, rng, mode="zero")
+        x = rng.normal(size=(16, 6))
+        y = rng.integers(0, 3, 16)
+        m.zero_grad()
+        m.loss_and_grad(x, y)
+        consumer = m.cells[idx + 1]
+        key = "fc.w" if "fc.w" in consumer.grads() else "head.w"
+        g_new = consumer.grads()[key][4:]
+        assert np.abs(g_new).max() > 0
+
+    def test_zero_mode_outgrows_duplication(self, rng):
+        """The reason zero is the default: after brief training, the widened
+        model's new capacity is used (consumer columns leave zero), whereas
+        exact duplicates remain redundant."""
+        m = mlp((6,), 3, rng, width=4)
+        cell = m.transformable_cells()[0]
+        idx = m.cell_index(cell.cell_id)
+        m.widen_cell(cell.cell_id, 2.0, rng, mode="zero")
+        consumer = m.cells[idx + 1]
+        key = "fc.w" if "fc.w" in consumer.params() else "head.w"
+        x = rng.normal(size=(64, 6))
+        y = ((x[:, 0] > 0) & (x[:, 1] > 0)).astype(int)
+        opt = SGD(0.2)
+        for _ in range(40):
+            m.zero_grad()
+            m.loss_and_grad(x, y)
+            opt.step(m.params(), m.grads())
+        assert np.abs(consumer.params()[key][4:]).max() > 1e-3
+
+    def test_bn_rows_for_new_channels(self, rng):
+        m = small_cnn((1, 8, 8), 3, rng, width=4)
+        cell = m.transformable_cells()[0]
+        m.widen_cell(cell.cell_id, 2.0, rng, mode="zero")
+        assert np.all(cell.bn.gamma[4:] == 1.0)
+        assert np.all(cell.bn.beta[4:] == 0.0)
+        assert np.all(cell.bn.running_var[4:] == 1.0)
+
+
+@given(seed=st.integers(0, 300), mode=st.sampled_from(["dup", "zero"]))
+@settings(max_examples=20, deadline=None)
+def test_property_widen_modes_preserve_any_model(seed, mode):
+    rng = np.random.default_rng(seed)
+    m = mlp((5,), 3, rng, width=4, depth=2)
+    x = rng.normal(size=(6, 5))
+    before = m.predict(x)
+    cells = m.transformable_cells()
+    target = cells[seed % len(cells)]
+    m.widen_cell(target.cell_id, 2.0, rng, mode=mode)
+    assert np.allclose(before, m.predict(x), atol=1e-8)
