@@ -83,8 +83,6 @@ class SplitMixStrategy(Strategy):
     def eval_model_for(self, client: FLClient) -> str:
         return self._base_ids[0]
 
-    def client_logits(self, client: FLClient, x: np.ndarray) -> np.ndarray:
+    def eval_ensemble(self, client: FLClient, model_id: str) -> tuple[str, ...]:
         """Ensemble the first ``budget_count`` base nets (averaged logits)."""
-        m = self.budget_count(client)
-        logits = [self._models[mid].predict(x) for mid in self._base_ids[:m]]
-        return np.mean(logits, axis=0)
+        return tuple(self._base_ids[: self.budget_count(client)])

@@ -210,10 +210,17 @@ def run_workload_suite(
     profile: ScaleProfile,
     methods: tuple[str, ...] = ("fedtrans", "fluid", "heterofl", "splitmix"),
     seed: int = 0,
+    coordinator_overrides: dict | None = None,
 ) -> dict[str, WorkloadResult]:
-    """The paper's comparison protocol: FedTrans first, baselines on its models."""
+    """The paper's comparison protocol: FedTrans first, baselines on its models.
+
+    ``coordinator_overrides`` (e.g. ``{"executor": "process"}``) applies to
+    every method's coordinator, so the whole suite runs on one backend.
+    """
     results: dict[str, WorkloadResult] = {}
-    ft = run_method("fedtrans", dataset, profile, seed)
+    ft = run_method(
+        "fedtrans", dataset, profile, seed, coordinator_overrides=coordinator_overrides
+    )
     results["fedtrans"] = ft
     suite = ft.strategy.models()
     by_macs = sorted(suite.values(), key=lambda m: m.macs())
@@ -229,5 +236,6 @@ def run_workload_suite(
             seed,
             global_model=largest,
             middle_model=middle,
+            coordinator_overrides=coordinator_overrides,
         )
     return results

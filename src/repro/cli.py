@@ -24,6 +24,7 @@ from pathlib import Path
 from .bench import active_profile, ascii_table, build_dataset, run_method, run_workload_suite
 from .bench.profiles import DATASETS, PROFILES
 from .bench.workloads import METHODS
+from .fl.executor import EXECUTOR_BACKENDS
 from .fl.export import log_to_dict, save_log
 from .nn.serialization import save_model
 
@@ -37,6 +38,24 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--rounds", type=int, default=None, help="override round budget")
     p.add_argument("--save-log", type=Path, default=None, help="write run log JSON here")
+    p.add_argument("--executor", choices=EXECUTOR_BACKENDS, default="serial",
+                   help="round-execution backend (all bit-identical per seed)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count for thread/process backends (default: cpu count)")
+
+
+def _coordinator_overrides(args) -> dict:
+    over = {}
+    if args.executor != "serial":
+        over["executor"] = args.executor
+    if args.workers is not None:
+        if args.executor == "serial":
+            raise SystemExit(
+                "--workers only applies to parallel backends; "
+                "pass --executor thread or --executor process"
+            )
+        over["max_workers"] = args.workers
+    return over
 
 
 def _profile(args):
@@ -49,15 +68,23 @@ def _profile(args):
 def cmd_run(args) -> int:
     profile = _profile(args)
     dataset = build_dataset(profile, seed=args.seed)
+    coord_over = _coordinator_overrides(args)
     if args.method in ("heterofl", "splitmix", "fluid"):
         # These need FedTrans's largest model (the Appendix A.1 protocol).
-        ft = run_method("fedtrans", dataset, profile, seed=args.seed)
+        ft = run_method(
+            "fedtrans", dataset, profile, seed=args.seed,
+            coordinator_overrides=coord_over,
+        )
         largest = max(ft.strategy.models().values(), key=lambda m: m.macs())
         res = run_method(
-            args.method, dataset, profile, seed=args.seed, global_model=largest
+            args.method, dataset, profile, seed=args.seed, global_model=largest,
+            coordinator_overrides=coord_over,
         )
     else:
-        res = run_method(args.method, dataset, profile, seed=args.seed)
+        res = run_method(
+            args.method, dataset, profile, seed=args.seed,
+            coordinator_overrides=coord_over,
+        )
     print(ascii_table([res.summary.row()], f"{args.method} on {args.dataset}"))
     if args.save_log:
         save_log(res.log, args.save_log)
@@ -73,7 +100,10 @@ def cmd_run(args) -> int:
 def cmd_suite(args) -> int:
     profile = _profile(args)
     dataset = build_dataset(profile, seed=args.seed)
-    results = run_workload_suite(dataset, profile, seed=args.seed)
+    results = run_workload_suite(
+        dataset, profile, seed=args.seed,
+        coordinator_overrides=_coordinator_overrides(args),
+    )
     rows = [r.summary.row() for r in results.values()]
     print(ascii_table(rows, f"suite on {args.dataset} ({profile.name} profile)"))
     if args.out:

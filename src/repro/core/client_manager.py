@@ -38,10 +38,33 @@ class SimilarityCache:
 
 
 class ClientManager:
-    """Tracks per-client model utilities and samples assignments."""
+    """Tracks per-client model utilities and samples assignments.
 
-    def __init__(self, sim_cache: SimilarityCache | None = None):
+    Utilities are kept bounded: without a bound they accumulate without
+    limit round over round, the Eq. 3 softmax saturates to a one-hot, and
+    assignment stops exploring.  ``utility_decay`` multiplies a client's
+    utilities each round it participates (exponential forgetting, recency-
+    weighted signal) and ``utility_clamp`` hard-limits ``|u|`` so the
+    softmax temperature stays finite — even at the worst case of two
+    models pinned to opposite clamps, the softmax gap is ``2 * clamp``
+    (probability floor ``~e^-10`` at the default 5.0), so assignment
+    keeps exploring.  Set ``1.0`` / ``0.0`` respectively to disable
+    either.
+    """
+
+    def __init__(
+        self,
+        sim_cache: SimilarityCache | None = None,
+        utility_decay: float = 0.99,
+        utility_clamp: float = 5.0,
+    ):
+        if not 0.0 < utility_decay <= 1.0:
+            raise ValueError("utility_decay must lie in (0, 1]")
+        if utility_clamp < 0.0:
+            raise ValueError("utility_clamp must be non-negative (0 disables)")
         self.sim_cache = sim_cache or SimilarityCache()
+        self.utility_decay = utility_decay
+        self.utility_clamp = utility_clamp
         self._utilities: dict[int, dict[str, float]] = {}
 
     # ------------------------------------------------------------------
@@ -116,6 +139,12 @@ class ClientManager:
             standardized = np.zeros_like(losses)
         else:
             standardized = (losses - mean) / std
+        if self.utility_decay < 1.0:
+            for cid in dict.fromkeys(u.client_id for u in updates):
+                utils = self._utilities.get(cid)
+                if utils:
+                    for mid in utils:
+                        utils[mid] *= self.utility_decay
         for u, l_std in zip(updates, standardized):
             assigned = models[u.model_id]
             utils = self._utilities.setdefault(u.client_id, {})
@@ -123,4 +152,7 @@ class ClientManager:
                 sim = self.sim_cache.get(model, assigned)
                 if sim <= 0.0:
                     continue
-                utils[mid] = utils.get(mid, 0.0) - float(l_std) * sim
+                val = utils.get(mid, 0.0) - float(l_std) * sim
+                if self.utility_clamp:
+                    val = min(max(val, -self.utility_clamp), self.utility_clamp)
+                utils[mid] = val

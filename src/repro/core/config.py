@@ -54,6 +54,14 @@ class FedTransConfig:
         Identity cells inserted per deepen operation (default 1).
     max_models:
         Safety cap on the model-suite size (memory bound for simulation).
+    utility_decay:
+        Per-participation exponential forgetting of a client's utilities
+        (Client Manager).  1.0 disables; without decay/clamp utilities grow
+        without bound and the Eq. 3 softmax degenerates to a one-hot.
+    utility_clamp:
+        Hard bound on ``|utility|`` so assignment probabilities stay
+        non-degenerate (worst-case softmax gap is ``2 * clamp``).  0.0
+        disables.
     min_rounds_between_transforms:
         Extra cooldown after a transformation; the DoC history reset already
         enforces ``gamma + delta`` rounds, this only adds to it.
@@ -88,6 +96,8 @@ class FedTransConfig:
     deepen_cells: int = 1
     max_models: int = 8
     min_rounds_between_transforms: int = 0
+    utility_decay: float = 0.99
+    utility_clamp: float = 5.0
     gradient_cell_selection: bool = True
     soft_aggregation: bool = True
     warmup: bool = True
@@ -113,6 +123,10 @@ class FedTransConfig:
             raise ValueError("deepen_cells must be >= 1")
         if self.max_models < 1:
             raise ValueError("max_models must be >= 1")
+        if not 0.0 < self.utility_decay <= 1.0:
+            raise ValueError("utility_decay must lie in (0, 1]")
+        if self.utility_clamp < 0.0:
+            raise ValueError("utility_clamp must be non-negative (0 disables)")
 
     def scaled(self, **overrides) -> "FedTransConfig":
         """A copy with fields replaced (bench profiles shrink γ/δ)."""

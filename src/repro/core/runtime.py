@@ -52,7 +52,11 @@ class FedTransStrategy(Strategy):
             )
         self.config = config
         self.sim_cache = SimilarityCache()
-        self.client_manager = ClientManager(self.sim_cache)
+        self.client_manager = ClientManager(
+            self.sim_cache,
+            utility_decay=config.utility_decay,
+            utility_clamp=config.utility_clamp,
+        )
         self.aggregator = ModelAggregator(config, self.sim_cache, server_opt_factory)
         self.transformer = ModelTransformer(config, max_capacity_macs)
         self._models: dict[str, CellModel] = {initial_model.model_id: initial_model}

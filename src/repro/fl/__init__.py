@@ -2,6 +2,17 @@
 
 from .client import LocalTrainer, LocalTrainerConfig
 from .coordinator import Coordinator, CoordinatorConfig
+from .executor import (
+    EXECUTOR_BACKENDS,
+    EvalTask,
+    ProcessPoolRoundExecutor,
+    RoundExecutor,
+    SerialExecutor,
+    ThreadPoolRoundExecutor,
+    TrainItem,
+    derive_client_rng,
+    make_executor,
+)
 from .export import load_log, log_to_dict, save_log
 from .metrics import RunSummary, iqr, summarize
 from .selection import select_uniform
@@ -13,6 +24,15 @@ __all__ = [
     "LocalTrainerConfig",
     "Coordinator",
     "CoordinatorConfig",
+    "EXECUTOR_BACKENDS",
+    "EvalTask",
+    "ProcessPoolRoundExecutor",
+    "RoundExecutor",
+    "SerialExecutor",
+    "ThreadPoolRoundExecutor",
+    "TrainItem",
+    "derive_client_rng",
+    "make_executor",
     "load_log",
     "log_to_dict",
     "save_log",

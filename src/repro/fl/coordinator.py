@@ -6,15 +6,47 @@ collect updates, aggregate, and periodically evaluate every registered
 client on its deployed model.  All costs the paper reports — training MACs,
 network volume, server storage, round completion times — are metered here
 so every method is measured identically.
+
+Execution backends
+------------------
+Local training and evaluation are dispatched through a pluggable
+:class:`~repro.fl.executor.RoundExecutor` selected by
+``CoordinatorConfig.executor``:
+
+* ``"serial"`` (default) — one in-process loop.
+* ``"thread"`` — a thread pool; NumPy's BLAS kernels release the GIL, so
+  clients' matmul-heavy local steps overlap.
+* ``"process"`` — a persistent process pool; the fleet ships to workers
+  once, each round's models once (a shared read-only snapshot), and work
+  items carry only ``(model_id, client_id, seed material)``.
+
+**Determinism guarantee:** every work item's RNG derives from
+``np.random.SeedSequence(seed, spawn_key=(round, client, sub))`` and
+results are consumed in submission order, so the three backends produce
+bit-identical :class:`~repro.fl.types.TrainingLog` records for the same
+seed.  Wall-clock differs; the *simulated* round times (device-model
+latency) do not.
+
+Evaluation is batched by deployment: clients sharing an ensemble (see
+:meth:`Strategy.eval_ensemble`) are forward-passed together in a few large
+vectorized calls instead of per-client loops.  Strategies that override
+``client_logits`` keep their bespoke per-client path.
+
+Note: ``convergence_patience`` is measured in *evaluations* (one every
+``eval_every`` rounds), not in rounds — patience 10 with ``eval_every=10``
+spans 100 training rounds.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 
 import numpy as np
 
-from .client import LocalTrainer, LocalTrainerConfig
+from ..nn.losses import accuracy
+from .client import LocalTrainerConfig
+from .executor import EvalTask, RoundExecutor, TrainItem, make_executor
 from .selection import select_uniform
 from .strategy import Strategy
 from .types import EvalRecord, FLClient, RoundRecord, TrainingLog
@@ -34,10 +66,21 @@ class CoordinatorConfig:
     # Paper stop rule: "training is considered complete when either the
     # maximum number of training rounds is reached or the validation
     # accuracy converges, [defined as] not improving by more than 1% over
-    # 10 consecutive rounds".  Our unit is *evaluations*.
+    # 10 consecutive rounds".  Our unit is *evaluations* (one every
+    # ``eval_every`` rounds), not rounds.
     convergence_patience: int = 10
     convergence_delta: float = 0.01
     eval_batch_size: int = 256
+    # Clients per batched-evaluation task.  Caps the concatenated test-set
+    # size (memory stays O(chunk), not O(fleet)) and keeps several tasks in
+    # flight for parallel backends even when every client shares one
+    # deployment.  Chunk boundaries are deterministic (registration order),
+    # so results stay bit-identical across backends.
+    eval_group_clients: int = 64
+    # Round-execution backend: "serial" | "thread" | "process" (see module
+    # docstring).  All three are bit-identical for the same seed.
+    executor: str = "serial"
+    max_workers: int | None = None
 
 
 class Coordinator:
@@ -48,14 +91,25 @@ class Coordinator:
         strategy: Strategy,
         clients: list[FLClient],
         config: CoordinatorConfig,
+        executor: RoundExecutor | None = None,
     ):
         if not clients:
             raise ValueError("cannot run FL with zero clients")
         self.strategy = strategy
         self.clients = clients
         self.config = config
-        self.trainer = LocalTrainer(config.trainer)
         self._rng = np.random.default_rng(config.seed)
+        # An injected executor is caller-owned (and caller-closed); a
+        # config-built one belongs to this coordinator.
+        self._owns_executor = executor is None
+        self.executor = executor or make_executor(
+            config.executor, clients, config.trainer, config.seed, config.max_workers
+        )
+
+    def close(self) -> None:
+        """Release executor resources (pools recreate lazily if reused)."""
+        if self._owns_executor:
+            self.executor.close()
 
     # ------------------------------------------------------------------
     def run(self) -> TrainingLog:
@@ -63,23 +117,28 @@ class Coordinator:
         cfg = self.config
         log = TrainingLog(strategy=self.strategy.name)
         best_acc_history: list[float] = []
-        for round_idx in range(cfg.rounds):
-            record = self._run_round(round_idx, log)
-            log.rounds.append(record)
-            log.peak_storage_bytes = max(log.peak_storage_bytes, self.strategy.storage_bytes())
-            if (round_idx + 1) % cfg.eval_every == 0 or round_idx == cfg.rounds - 1:
-                ev = self.evaluate(round_idx, log.total_macs)
-                log.evals.append(ev)
-                best_acc_history.append(ev.mean_accuracy)
-                if self._converged(best_acc_history):
-                    log.stopped_round = round_idx
-                    log.stop_reason = "converged"
-                    break
-        else:
-            log.stopped_round = cfg.rounds - 1
-            log.stop_reason = "budget"
-        if not log.evals or log.evals[-1].round_idx != log.stopped_round:
-            log.evals.append(self.evaluate(log.stopped_round, log.total_macs))
+        try:
+            for round_idx in range(cfg.rounds):
+                record = self._run_round(round_idx, log)
+                log.rounds.append(record)
+                log.peak_storage_bytes = max(
+                    log.peak_storage_bytes, self.strategy.storage_bytes()
+                )
+                if (round_idx + 1) % cfg.eval_every == 0 or round_idx == cfg.rounds - 1:
+                    ev = self.evaluate(round_idx, log.total_macs)
+                    log.evals.append(ev)
+                    best_acc_history.append(ev.mean_accuracy)
+                    if self._converged(best_acc_history):
+                        log.stopped_round = round_idx
+                        log.stop_reason = "converged"
+                        break
+            else:
+                log.stopped_round = cfg.rounds - 1
+                log.stop_reason = "budget"
+            if not log.evals or log.evals[-1].round_idx != log.stopped_round:
+                log.evals.append(self.evaluate(log.stopped_round, log.total_macs))
+        finally:
+            self.close()
         return log
 
     def _converged(self, acc_history: list[float]) -> bool:
@@ -97,20 +156,19 @@ class Coordinator:
         assignments = self.strategy.assign(round_idx, participants, self._rng)
         models = self.strategy.models()
 
-        updates = []
-        client_times: list[float] = []
-        for client in participants:
-            elapsed = 0.0
-            for sub_idx, model_id in enumerate(assignments[client.client_id]):
-                work = models[model_id].clone(keep_id=True)
-                crng = np.random.default_rng(
-                    (cfg.seed * 1_000_003 + round_idx * 1009 + client.client_id * 31 + sub_idx)
-                    % (2**63)
-                )
-                update = self.trainer.train(work, client, crng)
-                updates.append(update)
-                elapsed += update.round_time  # sequential local training
-            client_times.append(elapsed)
+        items = [
+            TrainItem(model_id, client.client_id, sub_idx)
+            for client in participants
+            for sub_idx, model_id in enumerate(assignments[client.client_id])
+        ]
+        updates = self.executor.train_round(round_idx, items, models)
+
+        # A client's sub-models train sequentially on-device, clients in
+        # parallel across the fleet: per-client sum, fleet-wide max.
+        elapsed = {c.client_id: 0.0 for c in participants}
+        for item, update in zip(items, updates):
+            elapsed[item.client_id] += update.round_time
+        client_times = [elapsed[c.client_id] for c in participants]
 
         events = self.strategy.aggregate(round_idx, updates, self._rng)
 
@@ -135,13 +193,52 @@ class Coordinator:
 
     # ------------------------------------------------------------------
     def evaluate(self, round_idx: int, cumulative_macs: float) -> EvalRecord:
-        """Per-client test accuracy on each client's deployment."""
+        """Per-client test accuracy on each client's deployment.
+
+        The deployed model is resolved exactly once per client
+        (``eval_model_for`` can re-rank utilities, so calling it twice can
+        record a different model than the one actually evaluated); clients
+        sharing an ensemble are then batched into one large forward pass
+        per deployment group, dispatched through the executor.
+        """
+        used = [self.strategy.eval_model_for(c) for c in self.clients]
         accs = np.zeros(len(self.clients))
-        used: list[str] = []
-        for i, client in enumerate(self.clients):
-            used.append(self.strategy.eval_model_for(client))
-            logits = self.strategy.client_logits(client, client.data.x_test)
-            accs[i] = float((logits.argmax(axis=-1) == client.data.y_test).mean())
+        if type(self.strategy).client_logits is not Strategy.client_logits:
+            # Bespoke per-client evaluation; honor it client by client,
+            # threading the already-resolved model so a stateful
+            # eval_model_for is not consulted a second time.  Overrides
+            # written against the pre-executor 2-arg hook signature are
+            # still legal — only pass model_id if the override takes it.
+            params = inspect.signature(self.strategy.client_logits).parameters
+            takes_model_id = "model_id" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+            )
+            for i, client in enumerate(self.clients):
+                kwargs = {"model_id": used[i]} if takes_model_id else {}
+                logits = self.strategy.client_logits(
+                    client, client.data.x_test, **kwargs
+                )
+                accs[i] = accuracy(logits, client.data.y_test)
+        else:
+            groups: dict[tuple[str, ...], list[int]] = {}
+            for i, client in enumerate(self.clients):
+                key = self.strategy.eval_ensemble(client, used[i])
+                groups.setdefault(key, []).append(i)
+            chunk = max(1, self.config.eval_group_clients)
+            chunked: list[list[int]] = []
+            tasks: list[EvalTask] = []
+            for key, idxs in groups.items():
+                for start in range(0, len(idxs), chunk):
+                    part = idxs[start : start + chunk]
+                    chunked.append(part)
+                    tasks.append(
+                        EvalTask(key, tuple(self.clients[i].client_id for i in part))
+                    )
+            results = self.executor.eval_round(
+                tasks, self.strategy.models(), self.config.eval_batch_size
+            )
+            for idxs, group_accs in zip(chunked, results):
+                accs[idxs] = group_accs
         return EvalRecord(
             round_idx=round_idx,
             cumulative_macs=cumulative_macs,

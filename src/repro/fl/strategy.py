@@ -60,16 +60,37 @@ class Strategy(ABC):
         """Model id this client deploys (used by the default evaluation)."""
 
     # ------------------------------------------------------------------
-    # evaluation hook
+    # evaluation hooks
     # ------------------------------------------------------------------
-    def client_logits(self, client: FLClient, x: np.ndarray) -> np.ndarray:
+    def eval_ensemble(self, client: FLClient, model_id: str) -> tuple[str, ...]:
+        """Model ids whose *averaged* logits form this client's deployment.
+
+        ``model_id`` is the already-resolved :meth:`eval_model_for` result
+        (threaded through so utility re-ranking runs once per client).  The
+        default deployment is that single model; ensemble methods
+        (SplitMix) override.  The coordinator batches evaluation by this
+        key: clients sharing an ensemble share one big forward pass.
+        """
+        return (model_id,)
+
+    def client_logits(
+        self, client: FLClient, x: np.ndarray, model_id: str | None = None
+    ) -> np.ndarray:
         """Logits the client's deployment produces on ``x``.
 
-        Default: the single model from :meth:`eval_model_for`.  Ensemble
-        methods (SplitMix) override this.
+        ``model_id`` lets callers that already resolved
+        :meth:`eval_model_for` thread it through instead of re-ranking;
+        when omitted it is resolved here.  Overriding this method opts the
+        strategy out of the coordinator's batched evaluation path — prefer
+        overriding :meth:`eval_ensemble` when the deployment is a plain
+        logit average.
         """
-        model = self.models()[self.eval_model_for(client)]
-        return model.predict(x)
+        mid = self.eval_model_for(client) if model_id is None else model_id
+        models = self.models()
+        ids = self.eval_ensemble(client, mid)
+        if len(ids) == 1:
+            return models[ids[0]].predict(x)
+        return np.mean([models[i].predict(x) for i in ids], axis=0)
 
     # ------------------------------------------------------------------
     # shared helpers

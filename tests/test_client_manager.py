@@ -135,6 +135,77 @@ class TestEq4Update:
         cm.update([], models)
         assert cm._utilities == {}
 
+    def test_utilities_bounded_over_500_rounds(self, rng):
+        """Regression: unbounded accumulation saturated the Eq. 3 softmax
+        to a one-hot after enough rounds, killing exploration.  With the
+        default decay/clamp, 500 rounds of consistently skewed losses keep
+        every utility bounded and every assignment probability
+        non-degenerate."""
+        models, parent, child = self._models(rng)
+        cm = ClientManager()
+        ids = [parent.model_id, child.model_id]
+        for _ in range(500):
+            ups = [
+                _update(0, parent.model_id, loss=0.1),  # always-good client
+                _update(1, child.model_id, loss=2.0),  # always-bad client
+            ]
+            cm.update(ups, models)
+        for cid in (0, 1):
+            for mid in ids:
+                assert abs(cm.utility(cid, mid)) <= cm.utility_clamp
+            p = cm.assignment_probabilities(cid, ids)
+            assert p.min() > 1e-8  # still explores: not a one-hot
+            assert p.max() < 1.0 - 1e-8
+
+    def test_opposite_clamps_still_explore(self, rng):
+        """Worst case: one client driven to +clamp on one model and -clamp
+        on a dissimilar one (softmax gap 2*clamp).  The probability floor
+        must survive it — this is the case same-signed saturation tests
+        miss."""
+        a = mlp((6,), 3, rng, width=4)
+        b = mlp((6,), 3, rng, width=4)  # unrelated lineage: sim(a, b) == 0
+        models = {a.model_id: a, b.model_id: b}
+        cm = ClientManager()
+        for _ in range(500):
+            # Client 0 is great on model a...
+            cm.update(
+                [_update(0, a.model_id, loss=0.1), _update(1, a.model_id, loss=2.0)],
+                models,
+            )
+            # ...and terrible on model b.
+            cm.update(
+                [_update(0, b.model_id, loss=2.0), _update(1, b.model_id, loss=0.1)],
+                models,
+            )
+        assert cm.utility(0, a.model_id) == pytest.approx(cm.utility_clamp, rel=0.1)
+        assert cm.utility(0, b.model_id) == pytest.approx(-cm.utility_clamp, rel=0.1)
+        p = cm.assignment_probabilities(0, [a.model_id, b.model_id])
+        assert p.min() > 1e-8  # floor ~ e^(-2*clamp)
+        assert p.max() < 1.0 - 1e-8
+
+    def test_unbounded_manager_saturates(self, rng):
+        """The failure mode the defaults prevent: decay/clamp disabled,
+        the same 500 rounds drive the softmax (numerically) one-hot."""
+        models, parent, child = self._models(rng)
+        cm = ClientManager(utility_decay=1.0, utility_clamp=0.0)
+        ids = [parent.model_id, child.model_id]
+        for _ in range(500):
+            ups = [
+                _update(0, parent.model_id, loss=0.1),
+                _update(1, child.model_id, loss=2.0),
+            ]
+            cm.update(ups, models)
+        p = cm.assignment_probabilities(0, ids)
+        assert p.max() > 1.0 - 1e-12
+
+    def test_invalid_decay_and_clamp_rejected(self):
+        with pytest.raises(ValueError, match="utility_decay"):
+            ClientManager(utility_decay=0.0)
+        with pytest.raises(ValueError, match="utility_decay"):
+            ClientManager(utility_decay=1.5)
+        with pytest.raises(ValueError, match="utility_clamp"):
+            ClientManager(utility_clamp=-1.0)
+
     def test_assignment_shifts_after_updates(self, rng):
         """Soft assignment: persistent bad loss on a model steers the client
         elsewhere (the exploration/exploitation behaviour of §4.2)."""
