@@ -4,6 +4,7 @@ Examples::
 
     python -m repro run --dataset femnist_like --method fedtrans
     python -m repro run --dataset cifar10_like --method heterofl --rounds 100
+    python -m repro --mode async --buffer-k 5 --deadline 120  # run is implied
     python -m repro suite --dataset femnist_like --out results.json
     python -m repro profiles
 
@@ -42,6 +43,18 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="round-execution backend (all bit-identical per seed)")
     p.add_argument("--workers", type=int, default=None,
                    help="worker count for thread/process backends (default: cpu count)")
+    p.add_argument("--mode", choices=("sync", "async"), default="sync",
+                   help="round engine: synchronous barrier or buffered-async "
+                        "(FedBuff-style; bit-reproducible per seed)")
+    p.add_argument("--buffer-k", type=int, default=None,
+                   help="async: aggregate on this many arrivals "
+                        "(default: clients_per_round // 2)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="async: drop arrivals slower than this many simulated "
+                        "seconds after dispatch (wasted work is metered)")
+    p.add_argument("--staleness-discount", type=float, default=None,
+                   help="async: per-missed-aggregation discount base in (0, 1] "
+                        "(default 0.5; 1 disables)")
 
 
 def _coordinator_overrides(args) -> dict:
@@ -55,6 +68,18 @@ def _coordinator_overrides(args) -> dict:
                 "pass --executor thread or --executor process"
             )
         over["max_workers"] = args.workers
+    if args.mode != "sync":
+        over["mode"] = args.mode
+        if args.buffer_k is not None:
+            over["buffer_k"] = args.buffer_k
+        if args.deadline is not None:
+            over["deadline_s"] = args.deadline
+        if args.staleness_discount is not None:
+            over["staleness_discount"] = args.staleness_discount
+    elif any(v is not None for v in (args.buffer_k, args.deadline, args.staleness_discount)):
+        raise SystemExit(
+            "--buffer-k/--deadline/--staleness-discount require --mode async"
+        )
     return over
 
 
@@ -136,6 +161,11 @@ def cmd_profiles(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Option-first invocations (`python -m repro --mode async ...`) default
+    # to the `run` subcommand, so the common path needs no subcommand.
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        argv = ["run", *argv]
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 

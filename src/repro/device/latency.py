@@ -8,6 +8,12 @@ FedScale round-time simulation (Table 6) with a first-order cost model:
 * transfer latency   = model bytes / bandwidth (download + upload)
 * round completion   = max over participants of download + train + upload
   (synchronous FL: the round waits for the slowest participant).
+
+The buffered-asynchronous engine (:mod:`repro.fl.async_engine`) consumes
+the same per-client times but never takes the max: each client's
+download + train + upload schedules a completion event on a simulated
+clock, and an aggregation step's ``round_time`` is the clock advance
+needed to buffer its first ``buffer_k`` arrivals.
 """
 
 from __future__ import annotations

@@ -1,5 +1,6 @@
 """Federated-learning simulation engine: clients, strategies, coordinator."""
 
+from .async_engine import BufferedAsyncEngine, VirtualClock
 from .client import LocalTrainer, LocalTrainerConfig
 from .coordinator import Coordinator, CoordinatorConfig
 from .executor import (
@@ -17,9 +18,18 @@ from .export import load_log, log_to_dict, save_log
 from .metrics import RunSummary, iqr, summarize
 from .selection import select_uniform
 from .strategy import Strategy
-from .types import ClientUpdate, EvalRecord, FLClient, RoundRecord, TrainingLog
+from .types import (
+    ArrivalRecord,
+    ClientUpdate,
+    EvalRecord,
+    FLClient,
+    RoundRecord,
+    TrainingLog,
+)
 
 __all__ = [
+    "BufferedAsyncEngine",
+    "VirtualClock",
     "LocalTrainer",
     "LocalTrainerConfig",
     "Coordinator",
@@ -41,6 +51,7 @@ __all__ = [
     "summarize",
     "select_uniform",
     "Strategy",
+    "ArrivalRecord",
     "ClientUpdate",
     "EvalRecord",
     "FLClient",

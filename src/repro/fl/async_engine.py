@@ -1,0 +1,286 @@
+"""Buffered-asynchronous round engine with a deadline straggler policy.
+
+Synchronous FL pays the straggler tax every round: the barrier waits for
+the slowest participant (``round_time = max(client_times)``, the regime the
+paper's Table 6 measures).  This engine removes the barrier the way FedBuff
+(Nguyen et al.) does, over a simulated event clock:
+
+* A :class:`VirtualClock` orders ``(client, model)`` work completions by
+  their ``device/latency.py``-derived finish times.  The *compute* still
+  runs through the regular :class:`~repro.fl.executor.RoundExecutor`
+  backends (serial/thread/process) in deterministic dispatch waves — only
+  the simulated timeline is asynchronous.
+* The server keeps ``concurrency`` clients in flight (over-selection: more
+  than ``buffer_k``) and fires :meth:`Strategy.aggregate_buffered` on the
+  first ``buffer_k`` arrivals.  Updates dispatched against older server
+  weights carry a staleness count; the default hook discounts them by
+  ``staleness_discount ** staleness``.
+* A deadline policy drops any arrival whose simulated duration exceeds
+  ``deadline_s``: the server stops waiting at ``dispatch + deadline_s``,
+  frees the client's slot, and meters the wasted compute/download in the
+  cost ledger (``TrainingLog.dropped_updates`` / ``dropped_macs``; the
+  dropped upload never lands, so ``bytes_up`` is not charged).
+
+**Determinism contract** (same as the sync engine): event ties break on
+``(finish_time, dispatch_seq)``, every work item's RNG derives from
+``SeedSequence(seed, spawn_key=(wave, client, sub))``, and selection /
+assignment / aggregation consume the coordinator RNG in event order — so
+async runs are bit-reproducible for a fixed seed across all executor
+backends.
+
+``round_time`` semantics differ from sync mode: each
+:class:`~repro.fl.types.RoundRecord` covers one buffered aggregation step
+and its ``round_time`` is the simulated clock advance since the previous
+step, so ``sum(round_time)`` is total simulated time in both modes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .executor import RoundExecutor, TrainItem
+from .selection import select_uniform
+from .strategy import Strategy
+from .types import ArrivalRecord, ClientUpdate, FLClient, RoundRecord, TrainingLog
+
+__all__ = ["VirtualClock", "BufferedAsyncEngine"]
+
+
+class VirtualClock:
+    """A deterministic simulated-time event queue.
+
+    Events are ``(time, dispatch_seq, payload)`` triples popped in
+    lexicographic order — the ``dispatch_seq`` tie-break is what keeps runs
+    bit-reproducible when two clients finish at the exact same simulated
+    instant.  ``now`` only moves forward.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[tuple[float, int, "_Pending"]] = []
+        self.now = 0.0
+
+    def schedule(self, time: float, seq: int, payload: "_Pending") -> None:
+        heapq.heappush(self._events, (time, seq, payload))
+
+    def pop(self) -> tuple[float, int, "_Pending"]:
+        """Advance to (and return) the next completion event."""
+        if not self._events:
+            raise RuntimeError("virtual clock has no scheduled events")
+        time, seq, payload = heapq.heappop(self._events)
+        self.now = max(self.now, time)
+        return time, seq, payload
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+@dataclass
+class _Pending:
+    """One in-flight client: its precomputed updates await their finish time."""
+
+    dispatch_seq: int
+    client_id: int
+    model_ids: tuple[str, ...]
+    dispatch_time: float
+    finish_time: float
+    version: int  # server aggregation count at dispatch (staleness anchor)
+    dropped: bool
+    updates: list[ClientUpdate] = field(default_factory=list)
+
+
+class BufferedAsyncEngine:
+    """FedBuff-style buffered aggregation over a simulated event clock.
+
+    The coordinator owns the outer loop (eval cadence, convergence,
+    logging); this engine replaces ``_run_round``'s barrier with
+    :meth:`step`, keeping in-flight work alive across steps.  Costs are
+    accounted when an arrival (or drop) event fires, so the ledger matches
+    what the simulated server has actually seen at each aggregation.
+    """
+
+    def __init__(
+        self,
+        strategy: Strategy,
+        clients: list[FLClient],
+        config,  # CoordinatorConfig; untyped to avoid a circular import
+        executor: RoundExecutor,
+        rng: np.random.Generator,
+    ):
+        self.strategy = strategy
+        self.clients = clients
+        self.config = config
+        self.executor = executor
+        self.rng = rng
+        self.clock = VirtualClock()
+        self.buffer_k = config.buffer_k or max(1, config.clients_per_round // 2)
+        self.concurrency = min(
+            config.async_concurrency or config.clients_per_round, len(clients)
+        )
+        self.deadline_s = config.deadline_s
+        self._in_flight: set[int] = set()
+        self._dispatch_seq = 0
+        self._wave = 0
+        self._version = 0  # completed aggregation steps
+        # One models dict per aggregation epoch: server models only mutate
+        # in aggregate_buffered, so every wave in between reuses the same
+        # object — which the process executor treats as "snapshot
+        # unchanged" and publishes once instead of once per arrival.
+        self._models_epoch: dict | None = None
+
+    def _models(self) -> dict:
+        if self._models_epoch is None:
+            self._models_epoch = self.strategy.models()
+        return self._models_epoch
+
+    # ------------------------------------------------------------------
+    def _fill_slots(self) -> None:
+        """Dispatch fresh work until ``concurrency`` clients are in flight.
+
+        Each call is one *wave*: selection and assignment draw from the
+        coordinator RNG, then the whole wave's training runs through the
+        executor against the current server models (this is where
+        serial/thread/process parallelism applies).  The wave index doubles
+        as the executor's ``round_idx``, so every ``(wave, client, sub)``
+        work item gets a unique SeedSequence spawn key — a client is never
+        dispatched twice in one wave because it stays in flight until its
+        completion (or drop) event fires.
+        """
+        need = self.concurrency - len(self._in_flight)
+        if need <= 0:
+            return
+        available = [c for c in self.clients if c.client_id not in self._in_flight]
+        if not available:
+            return
+        wave = self._wave
+        self._wave += 1
+        selected = select_uniform(available, min(need, len(available)), self.rng)
+        assignments = self.strategy.assign(wave, selected, self.rng)
+        models = self._models()
+        items = [
+            TrainItem(model_id, client.client_id, sub_idx)
+            for client in selected
+            for sub_idx, model_id in enumerate(assignments[client.client_id])
+        ]
+        updates = self.executor.train_round(wave, items, models)
+        per_client: dict[int, list[ClientUpdate]] = {}
+        for item, update in zip(items, updates):
+            per_client.setdefault(item.client_id, []).append(update)
+        for client in selected:
+            ups = per_client[client.client_id]
+            # Sub-models train sequentially on-device (as in sync mode).
+            duration = float(sum(u.round_time for u in ups))
+            dropped = self.deadline_s is not None and duration > self.deadline_s
+            # The server stops waiting at the deadline; the straggler's own
+            # finish time is recorded for the log either way.
+            event_time = self.clock.now + (
+                min(duration, self.deadline_s) if dropped else duration
+            )
+            seq = self._dispatch_seq
+            self._dispatch_seq += 1
+            self._in_flight.add(client.client_id)
+            self.clock.schedule(
+                event_time,
+                seq,
+                _Pending(
+                    dispatch_seq=seq,
+                    client_id=client.client_id,
+                    model_ids=tuple(assignments[client.client_id]),
+                    dispatch_time=self.clock.now,
+                    finish_time=self.clock.now + duration,
+                    version=self._version,
+                    dropped=dropped,
+                    updates=ups,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def step(self, step_idx: int, log: TrainingLog) -> RoundRecord:
+        """Run one buffered aggregation step; returns its RoundRecord.
+
+        Collects arrivals (dropping deadline violators) until ``buffer_k``
+        usable updates are buffered, fires the strategy's staleness-aware
+        aggregation, and meters every event — kept or dropped — into the
+        log's cost ledger.
+        """
+        t_start = self.clock.now
+        buffered: list[_Pending] = []
+        arrivals: list[ArrivalRecord] = []
+        step_macs = 0.0
+        bytes_down = 0
+        bytes_up = 0
+        consecutive_drops = 0
+        drop_limit = max(64, 8 * self.concurrency)
+        while len(buffered) < self.buffer_k:
+            self._fill_slots()
+            _, _, pending = self.clock.pop()
+            self._in_flight.discard(pending.client_id)
+            staleness = self._version - pending.version
+            arrivals.append(
+                ArrivalRecord(
+                    dispatch_seq=pending.dispatch_seq,
+                    client_id=pending.client_id,
+                    model_ids=pending.model_ids,
+                    dispatch_time=pending.dispatch_time,
+                    finish_time=pending.finish_time,
+                    staleness=staleness,
+                    dropped=pending.dropped,
+                )
+            )
+            macs = float(sum(u.macs_spent for u in pending.updates))
+            step_macs += macs
+            bytes_down += sum(u.bytes_down for u in pending.updates)
+            if pending.dropped:
+                log.dropped_updates += 1
+                log.dropped_macs += macs
+                consecutive_drops += 1
+                if consecutive_drops > drop_limit:
+                    raise RuntimeError(
+                        f"deadline_s={self.deadline_s} dropped {consecutive_drops} "
+                        "arrivals in a row — no client can finish inside the "
+                        "deadline; raise it"
+                    )
+                continue
+            consecutive_drops = 0
+            bytes_up += sum(u.bytes_up for u in pending.updates)
+            buffered.append(pending)
+
+        updates = [u for p in buffered for u in p.updates]
+        staleness_per_update = [
+            self._version - p.version for p in buffered for _ in p.updates
+        ]
+        events = self.strategy.aggregate_buffered(
+            step_idx,
+            updates,
+            staleness_per_update,
+            self.rng,
+            self.config.staleness_discount,
+        )
+        self._version += 1
+        self._models_epoch = None  # server models changed; next wave re-snapshots
+
+        log.total_macs += step_macs
+        log.total_bytes_down += bytes_down
+        log.total_bytes_up += bytes_up
+        events = list(events or [])
+        dropped_here = sum(1 for a in arrivals if a.dropped)
+        if dropped_here:
+            events.append(
+                f"dropped {dropped_here} straggler arrival(s) past "
+                f"deadline {self.deadline_s}s"
+            )
+        return RoundRecord(
+            round_idx=step_idx,
+            participants=[p.client_id for p in buffered],
+            assignments={p.client_id: list(p.model_ids) for p in buffered},
+            mean_loss=float(np.mean([u.train_loss for u in updates])),
+            macs=step_macs,
+            bytes_down=bytes_down,
+            bytes_up=bytes_up,
+            round_time=float(self.clock.now - t_start),
+            num_models=len(self.strategy.models()),
+            events=events,
+            arrivals=arrivals,
+        )

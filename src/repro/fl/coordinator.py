@@ -27,6 +27,24 @@ bit-identical :class:`~repro.fl.types.TrainingLog` records for the same
 seed.  Wall-clock differs; the *simulated* round times (device-model
 latency) do not.
 
+Round modes
+-----------
+``CoordinatorConfig.mode`` selects the round engine:
+
+* ``"sync"`` (default) — the barrier loop above; ``round_time`` is the max
+  over participants of download + train + upload (the straggler defines
+  the round, paper Table 6).
+* ``"async"`` — the buffered-asynchronous engine
+  (:mod:`~repro.fl.async_engine`): ``clients_per_round`` clients stay in
+  flight on a simulated event clock, aggregation fires on the first
+  ``buffer_k`` arrivals with a staleness discount, and arrivals past
+  ``deadline_s`` are dropped (their wasted cost metered).  Each
+  :class:`RoundRecord` is one aggregation step and ``round_time`` is the
+  simulated-clock advance since the previous step — ``sum(round_time)`` is
+  total simulated time in both modes.  The same determinism guarantee
+  holds: async runs are bit-reproducible for a fixed seed on every
+  executor backend.
+
 Evaluation is batched by deployment: clients sharing an ensemble (see
 :meth:`Strategy.eval_ensemble`) are forward-passed together in a few large
 vectorized calls instead of per-client loops.  Strategies that override
@@ -45,6 +63,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..nn.losses import accuracy
+from .async_engine import BufferedAsyncEngine
 from .client import LocalTrainerConfig
 from .executor import EvalTask, RoundExecutor, TrainItem, make_executor
 from .selection import select_uniform
@@ -81,10 +100,49 @@ class CoordinatorConfig:
     # docstring).  All three are bit-identical for the same seed.
     executor: str = "serial"
     max_workers: int | None = None
+    # Round engine: "sync" (barrier) or "async" (buffered-asynchronous; see
+    # module docstring).  The async knobs below are rejected in sync mode so
+    # a silently ignored straggler policy can't masquerade as measured.
+    mode: str = "sync"
+    # Async: aggregate on this many arrivals (default clients_per_round // 2
+    # — the in-flight pool over-selects relative to the buffer).
+    buffer_k: int | None = None
+    # Async: clients kept concurrently in flight (default clients_per_round).
+    async_concurrency: int | None = None
+    # Async: drop arrivals whose simulated duration exceeds this many
+    # seconds after dispatch (None disables the straggler-drop policy).
+    deadline_s: float | None = None
+    # Async: per-step staleness discount base in (0, 1]; an update that
+    # missed s aggregations contributes with weight discount**s (1 disables).
+    staleness_discount: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.eval_every < 1:
+            raise ValueError("eval_every must be >= 1")
+        if self.clients_per_round < 1:
+            raise ValueError("clients_per_round must be >= 1")
+        if self.convergence_patience < 1:
+            raise ValueError("convergence_patience must be >= 1")
+        if self.mode not in ("sync", "async"):
+            raise ValueError(f"mode must be 'sync' or 'async', got {self.mode!r}")
+        if self.mode == "sync":
+            for knob in ("buffer_k", "async_concurrency", "deadline_s"):
+                if getattr(self, knob) is not None:
+                    raise ValueError(f"{knob} requires mode='async'")
+        if self.buffer_k is not None and self.buffer_k < 1:
+            raise ValueError("buffer_k must be >= 1")
+        if self.async_concurrency is not None and self.async_concurrency < 1:
+            raise ValueError("async_concurrency must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if not 0.0 < self.staleness_discount <= 1.0:
+            raise ValueError("staleness_discount must lie in (0, 1]")
 
 
 class Coordinator:
-    """Synchronous FL simulation loop."""
+    """FL simulation loop — synchronous barrier or buffered-async rounds."""
 
     def __init__(
         self,
@@ -105,6 +163,11 @@ class Coordinator:
         self.executor = executor or make_executor(
             config.executor, clients, config.trainer, config.seed, config.max_workers
         )
+        self._async_engine = (
+            BufferedAsyncEngine(strategy, clients, config, self.executor, self._rng)
+            if config.mode == "async"
+            else None
+        )
 
     def close(self) -> None:
         """Release executor resources (pools recreate lazily if reused)."""
@@ -115,8 +178,8 @@ class Coordinator:
     def run(self) -> TrainingLog:
         """Execute the configured number of rounds (or stop at convergence)."""
         cfg = self.config
-        log = TrainingLog(strategy=self.strategy.name)
-        best_acc_history: list[float] = []
+        log = TrainingLog(strategy=self.strategy.name, mode=cfg.mode)
+        acc_history: list[float] = []
         try:
             for round_idx in range(cfg.rounds):
                 record = self._run_round(round_idx, log)
@@ -127,8 +190,8 @@ class Coordinator:
                 if (round_idx + 1) % cfg.eval_every == 0 or round_idx == cfg.rounds - 1:
                     ev = self.evaluate(round_idx, log.total_macs)
                     log.evals.append(ev)
-                    best_acc_history.append(ev.mean_accuracy)
-                    if self._converged(best_acc_history):
+                    acc_history.append(ev.mean_accuracy)
+                    if self._converged(acc_history):
                         log.stopped_round = round_idx
                         log.stop_reason = "converged"
                         break
@@ -142,15 +205,25 @@ class Coordinator:
         return log
 
     def _converged(self, acc_history: list[float]) -> bool:
+        """Stop when the last ``patience`` evals beat the prior best by <= δ.
+
+        The baseline is the *running best* accuracy before the patience
+        window, not the single eval ``patience + 1`` ago: a single noisy
+        eval at that position used to dictate the stop decision all by
+        itself (e.g. a transient dip there made every later window look
+        like fresh improvement, postponing the stop indefinitely).
+        """
         p = self.config.convergence_patience
         if len(acc_history) <= p:
             return False
         recent = acc_history[-p:]
-        baseline = acc_history[-p - 1]
+        baseline = max(acc_history[:-p])
         return max(recent) - baseline <= self.config.convergence_delta
 
     # ------------------------------------------------------------------
     def _run_round(self, round_idx: int, log: TrainingLog) -> RoundRecord:
+        if self._async_engine is not None:
+            return self._async_engine.step(round_idx, log)
         cfg = self.config
         participants = select_uniform(self.clients, cfg.clients_per_round, self._rng)
         assignments = self.strategy.assign(round_idx, participants, self._rng)

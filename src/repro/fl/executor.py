@@ -138,7 +138,10 @@ def _eval_task(
     for j, cid in enumerate(task.client_ids):
         data = clients_by_id[cid].data
         n = data.num_test
-        accs[j] = accuracy(logits[offset : offset + n], data.y_test)
+        # A test-less client inside a non-empty group scores 0.0, same as
+        # the all-empty branch above — accuracy() over a zero-length slice
+        # would yield NaN and poison the whole eval's mean.
+        accs[j] = accuracy(logits[offset : offset + n], data.y_test) if n else 0.0
         offset += n
     return accs
 
@@ -293,6 +296,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self._snapdir: str | None = None
         self._version = 0
         self._snapshot_path: str | None = None
+        self._snapshot_models: dict[str, CellModel] | None = None
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
@@ -306,10 +310,34 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             self._snapdir = tempfile.mkdtemp(prefix="repro-executor-")
         return self._pool
 
+    @staticmethod
+    def _drain(futures: list[concurrent.futures.Future]) -> list:
+        """Gather results only after *every* future has settled.
+
+        A plain ``[f.result() for f in futures]`` aborts on the first
+        failure while later futures are still running — the next
+        ``_publish`` would then delete the snapshot file those workers are
+        reading mid-load.  Waiting first keeps the snapshot lifecycle safe;
+        the first failure still propagates to the caller.
+        """
+        concurrent.futures.wait(futures)
+        return [f.result() for f in futures]
+
     def _publish(self, models: dict[str, CellModel]) -> tuple[int, str]:
         """Write the round's model snapshot; safe to delete the previous one
-        because train_round/eval_round block until all futures resolve."""
+        because train_round/eval_round drain all futures before returning
+        (including on failure — see :meth:`_drain`).
+
+        Passing the *identical* dict object again reuses the published
+        snapshot: the caller thereby asserts the models are unchanged since
+        that publish.  The sync coordinator builds a fresh dict every round
+        (always republished); the async engine dispatches many small waves
+        between aggregations and reuses one dict for all of them, so the
+        suite is pickled once per aggregation, not once per arrival.
+        """
         assert self._snapdir is not None
+        if models is self._snapshot_models and self._snapshot_path is not None:
+            return self._version, self._snapshot_path
         self._version += 1
         path = os.path.join(self._snapdir, f"models_v{self._version}.pkl")
         with open(path, "wb") as f:
@@ -317,19 +345,20 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         if self._snapshot_path and os.path.exists(self._snapshot_path):
             os.remove(self._snapshot_path)
         self._snapshot_path = path
+        self._snapshot_models = models
         return self._version, path
 
     def train_round(self, round_idx, items, models):
         pool = self._ensure_pool()
         version, path = self._publish(models)
         futures = [pool.submit(_proc_train, version, path, round_idx, it) for it in items]
-        return [f.result() for f in futures]
+        return self._drain(futures)
 
     def eval_round(self, tasks, models, batch_size):
         pool = self._ensure_pool()
         version, path = self._publish(models)
         futures = [pool.submit(_proc_eval, version, path, t, batch_size) for t in tasks]
-        return [f.result() for f in futures]
+        return self._drain(futures)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -339,6 +368,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             shutil.rmtree(self._snapdir, ignore_errors=True)
             self._snapdir = None
             self._snapshot_path = None
+            self._snapshot_models = None
 
 
 _BACKENDS = {

@@ -23,6 +23,7 @@ def log_to_dict(log: TrainingLog) -> dict:
     return {
         "format": 1,
         "strategy": log.strategy,
+        "mode": log.mode,
         "summary": summarize(log).row(),
         "stop_reason": log.stop_reason,
         "stopped_round": log.stopped_round,
@@ -31,6 +32,8 @@ def log_to_dict(log: TrainingLog) -> dict:
             "bytes_down": log.total_bytes_down,
             "bytes_up": log.total_bytes_up,
             "peak_storage_bytes": log.peak_storage_bytes,
+            "dropped_updates": log.dropped_updates,
+            "dropped_macs": log.dropped_macs,
         },
         "rounds": [
             {
@@ -42,6 +45,25 @@ def log_to_dict(log: TrainingLog) -> dict:
                 "round_time": r.round_time,
                 "num_models": r.num_models,
                 "events": list(r.events),
+                # Async engine only; sync rounds have no arrival stream.
+                **(
+                    {
+                        "arrivals": [
+                            {
+                                "dispatch_seq": a.dispatch_seq,
+                                "client": a.client_id,
+                                "models": list(a.model_ids),
+                                "dispatch_time": a.dispatch_time,
+                                "finish_time": a.finish_time,
+                                "staleness": a.staleness,
+                                "dropped": a.dropped,
+                            }
+                            for a in r.arrivals
+                        ]
+                    }
+                    if r.arrivals
+                    else {}
+                ),
             }
             for r in log.rounds
         ],

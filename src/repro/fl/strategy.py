@@ -2,7 +2,9 @@
 
 A strategy owns the model suite, decides which model(s) each participant
 trains (``assign`` — SplitMix ships several base nets per client, everyone
-else exactly one), merges returned updates (``aggregate``), and defines how
+else exactly one), merges returned updates (``aggregate``; the async engine
+routes buffered, possibly stale batches through ``aggregate_buffered``,
+which discounts staleness and delegates here), and defines how
 a client is *evaluated* (``client_logits``; by default the single deployed
 model named by ``eval_model_for`` — the paper evaluates "each client only
 on its compatible models and assign[s] it the model with the highest
@@ -15,6 +17,7 @@ cost accounting, and bench harness are shared across all methods.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import replace
 
 import numpy as np
 
@@ -54,6 +57,51 @@ class Strategy(ABC):
         Returns human-readable event strings (e.g. transformations) for the
         round log.
         """
+
+    def aggregate_buffered(
+        self,
+        round_idx: int,
+        updates: list[ClientUpdate],
+        staleness: list[int],
+        rng: np.random.Generator,
+        staleness_discount: float = 1.0,
+    ) -> list[str]:
+        """Merge a buffered-asynchronous batch of (possibly stale) updates.
+
+        ``staleness[i]`` counts the server aggregation steps that fired
+        between ``updates[i]``'s dispatch and its arrival — 0 means the
+        update trained against the current server weights, exactly the
+        synchronous case.
+
+        The default is a FedAsync/FedBuff-style discount that composes with
+        *any* :meth:`aggregate` implementation: a stale update's weights and
+        non-trainable state (e.g. normalization running stats) are pulled
+        toward the current server values of its model with factor
+        ``f = staleness_discount ** staleness`` (``f * client + (1 - f) *
+        server``) and its gradient is scaled by ``f``, then the regular
+        synchronous :meth:`aggregate` runs on the adjusted batch.  A fully
+        discounted update therefore degenerates to a no-op contribution
+        rather than dragging the suite toward obsolete weights or
+        statistics.  Strategies with bespoke staleness handling override
+        this hook.
+        """
+        if staleness_discount >= 1.0 or not any(s > 0 for s in staleness):
+            return self.aggregate(round_idx, updates, rng)
+        models = self.models()
+        adjusted: list[ClientUpdate] = []
+        for u, s in zip(updates, staleness):
+            server = models.get(u.model_id)
+            if s <= 0 or server is None:
+                adjusted.append(u)
+                continue
+            f = staleness_discount**s
+            ref = server.params()
+            ref_state = server.state()
+            params = {k: f * v + (1.0 - f) * ref[k] for k, v in u.params.items()}
+            state = {k: f * v + (1.0 - f) * ref_state[k] for k, v in u.state.items()}
+            grad = {k: f * g for k, g in u.grad.items()}
+            adjusted.append(replace(u, params=params, state=state, grad=grad))
+        return self.aggregate(round_idx, adjusted, rng)
 
     @abstractmethod
     def eval_model_for(self, client: FLClient) -> str:

@@ -10,7 +10,14 @@ from ..data.federated import ClientData
 from ..device.traces import DeviceTrace
 from ..nn.param_ops import ParamTree
 
-__all__ = ["FLClient", "ClientUpdate", "RoundRecord", "EvalRecord", "TrainingLog"]
+__all__ = [
+    "FLClient",
+    "ClientUpdate",
+    "ArrivalRecord",
+    "RoundRecord",
+    "EvalRecord",
+    "TrainingLog",
+]
 
 
 @dataclass
@@ -49,9 +56,39 @@ class ClientUpdate:
     round_time: float
 
 
+@dataclass(frozen=True)
+class ArrivalRecord:
+    """One client's update reaching the server in the async engine.
+
+    ``dispatch_seq`` is the global dispatch counter — event ties at equal
+    simulated finish times break on it, which is what makes async runs
+    bit-reproducible.  ``staleness`` counts server aggregation steps between
+    this work's dispatch and its arrival; ``dropped`` marks an arrival the
+    deadline straggler policy discarded (its compute/download cost is still
+    metered, its upload never lands).
+    """
+
+    dispatch_seq: int
+    client_id: int
+    model_ids: tuple[str, ...]
+    dispatch_time: float
+    finish_time: float
+    staleness: int
+    dropped: bool
+
+
 @dataclass
 class RoundRecord:
-    """Per-round bookkeeping."""
+    """Per-round bookkeeping.
+
+    In sync mode ``round_time`` is the barrier time — the max over
+    participants of download + train + upload.  In async mode one record
+    covers one buffered aggregation step and ``round_time`` is the
+    simulated-clock time elapsed since the previous aggregation, so
+    ``sum(round_time)`` is the run's total simulated time in both modes.
+    ``arrivals`` is populated by the async engine only (including dropped
+    stragglers); sync rounds leave it empty.
+    """
 
     round_idx: int
     participants: list[int]
@@ -63,6 +100,7 @@ class RoundRecord:
     round_time: float
     num_models: int
     events: list[str] = field(default_factory=list)
+    arrivals: list[ArrivalRecord] = field(default_factory=list)
 
 
 @dataclass
@@ -81,6 +119,7 @@ class TrainingLog:
     """Everything a finished run reports; feeds every table and figure."""
 
     strategy: str
+    mode: str = "sync"
     rounds: list[RoundRecord] = field(default_factory=list)
     evals: list[EvalRecord] = field(default_factory=list)
     total_macs: float = 0.0
@@ -89,6 +128,11 @@ class TrainingLog:
     peak_storage_bytes: int = 0
     stopped_round: int = 0
     stop_reason: str = "budget"
+    # Async deadline policy: work the server paid for but discarded.
+    # ``dropped_macs`` is already included in ``total_macs`` (the fleet spent
+    # the compute either way); these fields meter how much of it was wasted.
+    dropped_updates: int = 0
+    dropped_macs: float = 0.0
 
     # ---- headline metrics -------------------------------------------------
     def final_eval(self) -> EvalRecord:
@@ -121,6 +165,24 @@ class TrainingLog:
 
     def round_times(self) -> np.ndarray:
         return np.array([r.round_time for r in self.rounds])
+
+    def simulated_time(self) -> float:
+        """Total simulated seconds of the run (both modes: sum of rounds)."""
+        return float(self.round_times().sum()) if self.rounds else 0.0
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Simulated seconds until mean eval accuracy first reaches ``target``.
+
+        ``None`` when the run never got there.  The clock for an eval at
+        round ``r`` is the simulated time of rounds ``0..r`` inclusive —
+        evaluation itself is free (the paper's round times exclude it).
+        """
+        cum = np.cumsum(self.round_times())
+        for ev in self.evals:
+            if ev.mean_accuracy >= target:
+                idx = min(ev.round_idx, len(cum) - 1)
+                return float(cum[idx]) if len(cum) else 0.0
+        return None
 
     def cost_accuracy_curve(self) -> tuple[np.ndarray, np.ndarray]:
         """(cumulative MACs, mean accuracy) series — Fig. 7's axes."""

@@ -245,6 +245,31 @@ class TestBatchedEvaluation:
             assert ev.client_accuracy[i] == pytest.approx(expect)
         coord.close()
 
+    def test_mixed_empty_and_nonempty_group(self, rng):
+        """A test-less client *inside* a non-empty group scores 0.0 and the
+        other members are unaffected (regression: only the all-empty case
+        was guarded, so a zero-length slice hit accuracy() and returned
+        NaN, poisoning the group's mean)."""
+        ds = _dataset(num_clients=4)
+        clients = _clients(ds)
+        model = mlp(ds.input_shape, ds.num_classes, rng, width=8)
+        ex = SerialExecutor(clients, LocalTrainerConfig(), seed=0)
+        mid = model.model_id
+        solo = ex.eval_round(
+            [EvalTask((mid,), (0,)), EvalTask((mid,), (2,)), EvalTask((mid,), (3,))],
+            {mid: model},
+            16,
+        )
+        clients[1].data.x_test = clients[1].data.x_test[:0]
+        clients[1].data.y_test = clients[1].data.y_test[:0]
+        ex = SerialExecutor(clients, LocalTrainerConfig(), seed=0)
+        (mixed,) = ex.eval_round([EvalTask((mid,), (0, 1, 2, 3))], {mid: model}, 16)
+        assert np.isfinite(mixed).all()
+        assert mixed[1] == 0.0
+        assert mixed[0] == solo[0][0]
+        assert mixed[2] == solo[1][0]
+        assert mixed[3] == solo[2][0]
+
     def test_all_empty_group_scores_zero(self, rng):
         """A singleton/all-empty deployment group (routine under FedTrans,
         where groups are often per-client) must not crash predict()."""
@@ -351,6 +376,59 @@ class TestExecutorUnits:
         assert len(out) == 2
         assert out[0].shape == (2,) and out[1].shape == (2,)
         assert all(0.0 <= a <= 1.0 for accs in out for a in accs)
+
+    def test_process_snapshot_reused_for_identical_dict(self, rng):
+        """Passing the identical models dict again must not republish the
+        snapshot (the async engine dispatches many 1-item waves between
+        aggregations); a fresh dict must."""
+        ds = _dataset(num_clients=3)
+        clients = _clients(ds)
+        model = mlp(ds.input_shape, ds.num_classes, rng, width=8)
+        trainer_cfg = LocalTrainerConfig(batch_size=4, local_steps=2, lr=0.1)
+        ex = make_executor("process", clients, trainer_cfg, seed=0, max_workers=2)
+        try:
+            models = {model.model_id: model}
+            ex.train_round(0, [TrainItem(model.model_id, 0, 0)], models)
+            v1 = ex._version
+            reused = ex.train_round(1, [TrainItem(model.model_id, 1, 0)], models)
+            assert ex._version == v1  # same object => snapshot reused
+            ex.train_round(2, [TrainItem(model.model_id, 2, 0)], dict(models))
+            assert ex._version == v1 + 1  # new dict => republished
+            ref = SerialExecutor(clients, trainer_cfg, seed=0).train_round(
+                1, [TrainItem(model.model_id, 1, 0)], models
+            )
+            assert reused[0].train_loss == ref[0].train_loss
+        finally:
+            ex.close()
+
+    def test_process_pool_survives_item_failure(self, rng):
+        """When one work item raises, the executor must drain the rest
+        before surfacing the error — otherwise the next round's _publish
+        deletes the snapshot file still-running workers are reading.  The
+        observable contract: the failure propagates, and the *same*
+        executor then completes a follow-up round correctly."""
+        ds = _dataset(num_clients=4)
+        clients = _clients(ds)
+        # Client 2 has no training data => its work item raises in-worker.
+        clients[2].data.x_train = clients[2].data.x_train[:0]
+        clients[2].data.y_train = clients[2].data.y_train[:0]
+        model = mlp(ds.input_shape, ds.num_classes, rng, width=8)
+        trainer_cfg = LocalTrainerConfig(batch_size=4, local_steps=3, lr=0.1)
+        ex = make_executor("process", clients, trainer_cfg, seed=0, max_workers=2)
+        try:
+            items = [TrainItem(model.model_id, c.client_id, 0) for c in clients]
+            with pytest.raises(ValueError, match="no training data"):
+                ex.train_round(0, items, {model.model_id: model})
+            good = [TrainItem(model.model_id, c.client_id, 0) for c in clients if c.client_id != 2]
+            updates = ex.train_round(1, good, {model.model_id: model})
+            assert [u.client_id for u in updates] == [0, 1, 3]
+            # and matches a fresh serial run (snapshot was never corrupted)
+            ref = SerialExecutor(clients, trainer_cfg, seed=0).train_round(
+                1, good, {model.model_id: model}
+            )
+            assert all(u.train_loss == r.train_loss for u, r in zip(updates, ref))
+        finally:
+            ex.close()
 
     @pytest.mark.parametrize("backend", ["thread", "process"])
     def test_close_then_reuse_recreates_pool(self, backend, rng):
