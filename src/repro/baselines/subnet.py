@@ -80,9 +80,20 @@ def ratio_spec(
 
 
 def build_subnet(global_model: CellModel, spec: SubnetSpec) -> CellModel:
-    """Materialize the submodel described by ``spec`` (shares cell ids)."""
+    """Materialize the submodel described by ``spec`` (shares cell ids).
+
+    The result carries the *global model's* version (see
+    ``CellModel.sync_version``): HeteroFL/FLuID rebuild their submodels
+    under stable model ids after every aggregation, and a rebuilt subnet's
+    weights changed exactly when the global weights did — a fresh-clone
+    version of 0 every rebuild would make version-keyed caches (the eval
+    cache, process-backend snapshot deltas) treat retrained weights as
+    unchanged.  FLuID's score-driven spec changes are covered too: specs
+    only move in ``aggregate``, right after the global model's own bump.
+    """
     sub = global_model.clone()
     if spec.is_full():
+        sub.sync_version(global_model.version)
         return sub
     prev_out: np.ndarray | None = None
     for cell in sub.cells:
@@ -91,7 +102,9 @@ def build_subnet(global_model: CellModel, spec: SubnetSpec) -> CellModel:
         if out_idx is not None or hid_idx is not None or prev_out is not None:
             cell.narrow(out_idx=out_idx, in_idx=prev_out, hidden_idx=hid_idx)
         prev_out = out_idx
-    sub.macs()  # re-validate the chain
+    sub.bump_version()  # narrowed in place, outside the mutating model API
+    sub.macs()  # re-validate the chain (recomputes: the version moved)
+    sub.sync_version(global_model.version)
     return sub
 
 

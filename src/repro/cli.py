@@ -55,12 +55,18 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--staleness-discount", type=float, default=None,
                    help="async: per-missed-aggregation discount base in (0, 1] "
                         "(default 0.5; 1 disables)")
+    p.add_argument("--no-eval-cache", dest="eval_cache", action="store_false",
+                   default=True,
+                   help="disable the incremental evaluation cache (bit-identical "
+                        "either way; on by default)")
 
 
 def _coordinator_overrides(args) -> dict:
     over = {}
     if args.executor != "serial":
         over["executor"] = args.executor
+    if not args.eval_cache:
+        over["eval_cache"] = False
     if args.workers is not None:
         if args.executor == "serial":
             raise SystemExit(

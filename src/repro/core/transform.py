@@ -105,3 +105,4 @@ def reinitialize(model: CellModel, rng: np.random.Generator) -> None:
             s[...] = 0.0
         elif key.endswith("running_var"):
             s[...] = 1.0
+    model.bump_version()  # wrote through live references, not set_params

@@ -126,8 +126,11 @@ class BufferedAsyncEngine:
         self._version = 0  # completed aggregation steps
         # One models dict per aggregation epoch: server models only mutate
         # in aggregate_buffered, so every wave in between reuses the same
-        # object — which the process executor treats as "snapshot
-        # unchanged" and publishes once instead of once per arrival.
+        # dict (saves rebuilding it per arrival).  The process executor
+        # compares per-model version counters at publish time, so the waves
+        # between aggregations publish nothing, and the publish after an
+        # aggregation ships a delta of just the <= buffer_k models the step
+        # touched — not the whole suite.
         self._models_epoch: dict | None = None
 
     def _models(self) -> dict:

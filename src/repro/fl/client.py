@@ -84,6 +84,10 @@ class LocalTrainer:
                 for k, g in grads.items():
                     grad_sum[k] += g
             opt.step(params, grads)
+            # The optimizer writes through the live param references, which
+            # bypasses set_params — record the mutation for version-keyed
+            # caches (this clone is a keep_id replica of the server model).
+            model.bump_version()
 
         mean_grad = {k: g / cfg.local_steps for k, g in grad_sum.items()}
         samples_seen = cfg.local_steps * min(cfg.batch_size, n)

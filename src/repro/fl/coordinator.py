@@ -50,6 +50,50 @@ Evaluation is batched by deployment: clients sharing an ensemble (see
 vectorized calls instead of per-client loops.  Strategies that override
 ``client_logits`` keep their bespoke per-client path.
 
+Incremental evaluation cache
+----------------------------
+Periodic evaluation sweeps the *whole* registered fleet, yet between
+sweeps most of the suite is untouched (async aggregation updates at most
+``buffer_k`` models per step; cold models in multi-model training go
+unchanged for long stretches).  With ``eval_cache`` on (the default) the
+coordinator keys two caches on the models' monotone
+:attr:`~repro.nn.model.CellModel.version` counters:
+
+* **accuracies** per ``(ensemble ids, ensemble versions, client chunk)`` —
+  a deployment group whose models did not change since the last sweep
+  skips its forward passes entirely;
+* **logits** per ``(model id, model version, client chunk)``, kept for
+  multi-member ensembles only — across sweeps, an ensemble that lost some
+  (not all) members to training recomputes only the changed members and
+  reuses the idle members' logits (SplitMix's nested deployments, where
+  the hot base net invalidates every ensemble containing it but the cold
+  members' passes are saved).  Within a single sweep there is nothing to
+  share: deployment groups partition the fleet, so no two groups ever
+  produce the same ``(model, version, chunk)`` key.  Single-member groups
+  skip the logits cache entirely (an unchanged member is an accuracy-cache
+  hit and a changed one needs a full recompute, so a stored entry could
+  never be read): they dispatch as plain accuracy tasks — per-client
+  accuracies over the wire, nothing retained — submitted in the *same*
+  executor wave as the ensembles' member-logits tasks
+  (:meth:`~repro.fl.executor.RoundExecutor.eval_and_logits_round`), so a
+  mixed sweep pays one barrier, not two.
+
+The retained logits are float64 (a downcast would break the bit-identity
+contract), so the cross-sweep cache costs
+``O(multi-member-ensemble test rows x num_classes)`` doubles of resident
+memory between sweeps — the price of skipping idle members' forward
+passes.  Fleets whose evaluation is dominated by single-model deployments
+pay nothing; ensemble fleets that cannot afford the residency can set
+``eval_cache=False`` and trade the saving back for memory.
+
+Cache-on and cache-off sweeps are bit-identical: the cached quantities are
+re-derived by exactly the arithmetic of the uncached
+:func:`~repro.fl.executor._eval_task` path, and entries are invalidated by
+version, never by heuristics.  ``EvalRecord.cached_clients`` /
+``evaluated_clients`` meter the split so the saving is observable.  Both
+caches evict entries untouched by the latest sweep, bounding memory at one
+sweep's working set.
+
 Note: ``convergence_patience`` is measured in *evaluations* (one every
 ``eval_every`` rounds), not in rounds — patience 10 with ``eval_every=10``
 spans 100 training rounds.
@@ -65,7 +109,13 @@ import numpy as np
 from ..nn.losses import accuracy
 from .async_engine import BufferedAsyncEngine
 from .client import LocalTrainerConfig
-from .executor import EvalTask, RoundExecutor, TrainItem, make_executor
+from .executor import (
+    EvalTask,
+    RoundExecutor,
+    TrainItem,
+    ensemble_accuracies,
+    make_executor,
+)
 from .selection import select_uniform
 from .strategy import Strategy
 from .types import EvalRecord, FLClient, RoundRecord, TrainingLog
@@ -96,6 +146,9 @@ class CoordinatorConfig:
     # deployment.  Chunk boundaries are deterministic (registration order),
     # so results stay bit-identical across backends.
     eval_group_clients: int = 64
+    # Incremental evaluation cache (see module docstring).  Bit-identical
+    # on or off; off recomputes every deployment group every sweep.
+    eval_cache: bool = True
     # Round-execution backend: "serial" | "thread" | "process" (see module
     # docstring).  All three are bit-identical for the same seed.
     executor: str = "serial"
@@ -125,6 +178,12 @@ class CoordinatorConfig:
             raise ValueError("clients_per_round must be >= 1")
         if self.convergence_patience < 1:
             raise ValueError("convergence_patience must be >= 1")
+        if self.eval_batch_size < 1:
+            raise ValueError("eval_batch_size must be >= 1")
+        if self.eval_group_clients < 1:
+            raise ValueError("eval_group_clients must be >= 1")
+        if not isinstance(self.eval_cache, bool):
+            raise ValueError(f"eval_cache must be a bool, got {self.eval_cache!r}")
         if self.mode not in ("sync", "async"):
             raise ValueError(f"mode must be 'sync' or 'async', got {self.mode!r}")
         if self.mode == "sync":
@@ -168,6 +227,24 @@ class Coordinator:
             if config.mode == "async"
             else None
         )
+        # Bespoke-evaluation detection, hoisted from evaluate(): whether the
+        # strategy overrides client_logits, and (for legacy 2-arg overrides)
+        # whether that override accepts the resolved model_id.  Re-running
+        # inspect.signature on every sweep was pure waste — the strategy
+        # class never changes mid-run.
+        self._bespoke_logits = type(strategy).client_logits is not Strategy.client_logits
+        if self._bespoke_logits:
+            params = inspect.signature(strategy.client_logits).parameters
+            self._logits_takes_model_id = "model_id" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+            )
+        else:
+            self._logits_takes_model_id = False
+        # Incremental evaluation caches (module docstring): accuracies per
+        # (ensemble ids, ensemble versions, chunk); logits per (model id,
+        # model version, chunk).  Both evict to the latest sweep's keys.
+        self._eval_acc_cache: dict[tuple, np.ndarray] = {}
+        self._eval_logits_cache: dict[tuple, np.ndarray] = {}
 
     def close(self) -> None:
         """Release executor resources (pools recreate lazily if reused)."""
@@ -272,22 +349,21 @@ class Coordinator:
         (``eval_model_for`` can re-rank utilities, so calling it twice can
         record a different model than the one actually evaluated); clients
         sharing an ensemble are then batched into one large forward pass
-        per deployment group, dispatched through the executor.
+        per deployment group, dispatched through the executor.  With
+        ``eval_cache`` on, groups whose model versions are unchanged come
+        from the cache instead (see module docstring).
         """
         used = [self.strategy.eval_model_for(c) for c in self.clients]
         accs = np.zeros(len(self.clients))
-        if type(self.strategy).client_logits is not Strategy.client_logits:
+        cached_clients = 0
+        if self._bespoke_logits:
             # Bespoke per-client evaluation; honor it client by client,
             # threading the already-resolved model so a stateful
             # eval_model_for is not consulted a second time.  Overrides
             # written against the pre-executor 2-arg hook signature are
             # still legal — only pass model_id if the override takes it.
-            params = inspect.signature(self.strategy.client_logits).parameters
-            takes_model_id = "model_id" in params or any(
-                p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
-            )
             for i, client in enumerate(self.clients):
-                kwargs = {"model_id": used[i]} if takes_model_id else {}
+                kwargs = {"model_id": used[i]} if self._logits_takes_model_id else {}
                 logits = self.strategy.client_logits(
                     client, client.data.x_test, **kwargs
                 )
@@ -297,7 +373,7 @@ class Coordinator:
             for i, client in enumerate(self.clients):
                 key = self.strategy.eval_ensemble(client, used[i])
                 groups.setdefault(key, []).append(i)
-            chunk = max(1, self.config.eval_group_clients)
+            chunk = self.config.eval_group_clients
             chunked: list[list[int]] = []
             tasks: list[EvalTask] = []
             for key, idxs in groups.items():
@@ -307,15 +383,132 @@ class Coordinator:
                     tasks.append(
                         EvalTask(key, tuple(self.clients[i].client_id for i in part))
                     )
-            results = self.executor.eval_round(
-                tasks, self.strategy.models(), self.config.eval_batch_size
-            )
-            for idxs, group_accs in zip(chunked, results):
-                accs[idxs] = group_accs
+            models = self.strategy.models()
+            if self.config.eval_cache:
+                cached_clients = self._evaluate_cached(chunked, tasks, models, accs)
+            else:
+                results = self.executor.eval_round(
+                    tasks, models, self.config.eval_batch_size
+                )
+                for idxs, group_accs in zip(chunked, results):
+                    accs[idxs] = group_accs
         return EvalRecord(
             round_idx=round_idx,
             cumulative_macs=cumulative_macs,
             client_accuracy=accs,
             client_model=used,
             mean_accuracy=float(accs.mean()),
+            cached_clients=cached_clients,
+            evaluated_clients=len(self.clients) - cached_clients,
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate_cached(
+        self,
+        chunked: list[list[int]],
+        tasks: list[EvalTask],
+        models: dict,
+        accs: np.ndarray,
+    ) -> int:
+        """Version-keyed evaluation of the chunked deployment groups.
+
+        Fills ``accs`` in place and returns how many clients were served
+        from the accuracy cache.  Missed multi-member groups are rebuilt
+        from per-``(model version, chunk)`` logits — themselves cached
+        across sweeps, so a partially changed ensemble recomputes only its
+        changed members.  Missed single-member groups run as plain
+        accuracy tasks in the same executor wave (their logits could never
+        be reused — see the module docstring).  Both paths re-derive
+        :func:`~repro.fl.executor._eval_task`'s arithmetic operation for
+        operation, keeping cache-on and cache-off sweeps bit-identical.
+        """
+        cached_clients = 0
+        acc_touched: set[tuple] = set()
+        logit_touched: set[tuple] = set()
+        misses: list[tuple[tuple, EvalTask, list[int]]] = []
+        single_misses: list[tuple[tuple, EvalTask, list[int]]] = []
+        for idxs, task in zip(chunked, tasks):
+            versions = tuple(models[mid].version for mid in task.model_ids)
+            key = (task.model_ids, versions, task.client_ids)
+            acc_touched.add(key)
+            hit = self._eval_acc_cache.get(key)
+            if hit is not None:
+                accs[idxs] = hit
+                cached_clients += len(idxs)
+                # Keep the hit group's member logits warm too: if one
+                # member trains before the next sweep, that sweep reuses
+                # the idle members' logits instead of re-running the full
+                # ensemble (they'd otherwise be evicted below).
+                if len(task.model_ids) > 1:
+                    for mid, ver in zip(task.model_ids, versions):
+                        logit_touched.add((mid, ver, task.client_ids))
+            elif len(task.model_ids) == 1:
+                single_misses.append((key, task, idxs))
+            else:
+                misses.append((key, task, idxs))
+        if misses or single_misses:
+            # Member logits the missed ensembles need, minus what the cache
+            # already holds.  Keys are already distinct: groups partition
+            # the fleet, so no two missed groups share a (model, version,
+            # chunk) triple.  Single-member misses ride the same executor
+            # wave as plain accuracy tasks (their logits could never be
+            # reused, and accuracies are bytes over the wire where logits
+            # are matrices) — one combined barrier, not two.
+            needed: list[tuple] = []
+            for _, task, _ in misses:
+                if self._group_rows(task) == 0:
+                    continue  # no test data: zeros, no forward pass needed
+                for mid in task.model_ids:
+                    lkey = (mid, models[mid].version, task.client_ids)
+                    logit_touched.add(lkey)
+                    if lkey not in self._eval_logits_cache:
+                        needed.append(lkey)
+            eouts, louts = self.executor.eval_and_logits_round(
+                [t for _, t, _ in single_misses],
+                [EvalTask((mid,), cids) for mid, _, cids in needed],
+                models,
+                self.config.eval_batch_size,
+            )
+            for (key, _, idxs), group_accs in zip(single_misses, eouts):
+                self._eval_acc_cache[key] = group_accs
+                accs[idxs] = group_accs
+            for lkey, out in zip(needed, louts):
+                self._eval_logits_cache[lkey] = out
+            for key, task, idxs in misses:
+                group_accs = self._combine_group(task, models)
+                self._eval_acc_cache[key] = group_accs
+                accs[idxs] = group_accs
+        # Evict entries the latest sweep no longer references (stale
+        # versions, regrouped chunks): memory stays at one sweep's worth.
+        self._eval_acc_cache = {
+            k: v for k, v in self._eval_acc_cache.items() if k in acc_touched
+        }
+        self._eval_logits_cache = {
+            k: v for k, v in self._eval_logits_cache.items() if k in logit_touched
+        }
+        return cached_clients
+
+    def _group_rows(self, task: EvalTask) -> int:
+        # The executor already indexed the same fleet by client id.
+        clients_by_id = self.executor.clients_by_id
+        return sum(clients_by_id[cid].data.num_test for cid in task.client_ids)
+
+    def _combine_group(self, task: EvalTask, models: dict) -> np.ndarray:
+        """Ensemble-average cached member logits into per-client accuracies.
+
+        Runs :func:`~repro.fl.executor.ensemble_accuracies` — the same
+        function the uncached ``_eval_task`` path ends in — over the cached
+        member logits, so cache-on and cache-off sweeps share their
+        arithmetic structurally.
+        """
+        if self._group_rows(task) == 0:
+            return np.zeros(len(task.client_ids))
+        return ensemble_accuracies(
+            (
+                self._eval_logits_cache[(mid, models[mid].version, task.client_ids)]
+                for mid in task.model_ids
+            ),
+            len(task.model_ids),
+            self.executor.clients_by_id,
+            task.client_ids,
         )

@@ -13,9 +13,26 @@ backends ship:
 * :class:`ProcessPoolRoundExecutor` — a persistent worker-process pool for
   true multi-core scaling.  The static fleet (client datasets + trainer
   config) ships to each worker exactly once at pool start; per round the
-  server models are published once as a versioned read-only snapshot file
-  that every worker loads at most once per round, so a work item carries
-  only ``(model_id, client_id, seed material)`` — never a pickled model.
+  server models are published once as a versioned read-only snapshot that
+  every worker loads at most once per round, so a work item carries only
+  ``(model_id, client_id, seed material)`` — never a pickled model.
+
+Delta snapshot publishing
+-------------------------
+The process backend publishes *deltas*: :meth:`ProcessPoolRoundExecutor.
+_publish` compares each model's :attr:`~repro.nn.model.CellModel.version`
+against the versions it last published and pickles only the changed (or
+new) models, plus the removed ids.  Workers patch their cached suite by
+replaying the delta chain from whatever snapshot version they last loaded;
+a full snapshot is rewritten every ``FULL_SNAPSHOT_EVERY`` deltas (and on
+first publish) so the chain a lagging worker must replay stays short.  A
+publish where *no* version changed reuses the current snapshot outright —
+even when the caller passes a freshly built dict.  This is what keeps the
+buffered-async engine cheap: each aggregation step touches at most
+``buffer_k`` models, so each publish ships ``buffer_k`` models, not the
+whole suite.  The contract is the model version counter: any code that
+mutates a model outside ``set_params``/``set_state``/transformations must
+call ``bump_version()`` or workers will train against stale weights.
 
 **Determinism contract.** Every work item derives its RNG as
 ``np.random.default_rng(SeedSequence(seed, spawn_key=(round, client,
@@ -45,6 +62,7 @@ from .types import ClientUpdate, FLClient
 
 __all__ = [
     "EXECUTOR_BACKENDS",
+    "FULL_SNAPSHOT_EVERY",
     "TrainItem",
     "EvalTask",
     "derive_client_rng",
@@ -56,6 +74,11 @@ __all__ = [
 ]
 
 EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+# Delta chain length cap: a full snapshot is rewritten after this many
+# consecutive delta publishes, bounding both on-disk chain length and the
+# replay work of a worker that sat idle for many publishes.
+FULL_SNAPSHOT_EVERY = 8
 
 
 @dataclass(frozen=True)
@@ -111,6 +134,38 @@ def _train_item(
     return trainer.train(work, clients_by_id[item.client_id], rng)
 
 
+def ensemble_accuracies(
+    member_logits,
+    num_members: int,
+    clients_by_id: dict[int, FLClient],
+    client_ids: tuple[int, ...],
+) -> np.ndarray:
+    """Shared tail of ensemble evaluation: average, slice, score per client.
+
+    ``member_logits`` yields each member model's logits over the group's
+    concatenated test rows, in ensemble order (an iterable, so callers can
+    stream forward passes without holding every member at once).  Both the
+    uncached :func:`_eval_task` path and the coordinator's cache-combine
+    path run THIS function, which is what makes the cache-on/off
+    bit-identity contract structural rather than two hand-mirrored copies.
+
+    A test-less client inside a non-empty group scores 0.0 — accuracy()
+    over a zero-length slice would yield NaN and poison the eval's mean.
+    """
+    logits: np.ndarray | None = None
+    for out in member_logits:
+        logits = out if logits is None else logits + out
+    logits = logits / num_members
+    accs = np.zeros(len(client_ids))
+    offset = 0
+    for j, cid in enumerate(client_ids):
+        data = clients_by_id[cid].data
+        n = data.num_test
+        accs[j] = accuracy(logits[offset : offset + n], data.y_test) if n else 0.0
+        offset += n
+    return accs
+
+
 def _eval_task(
     models: dict[str, CellModel],
     clients_by_id: dict[int, FLClient],
@@ -128,22 +183,36 @@ def _eval_task(
         # Every client in the group has an empty test set; predict() cannot
         # run on zero samples, and accuracy() defines the score as 0.0.
         return np.zeros(len(task.client_ids))
-    logits: np.ndarray | None = None
-    for mid in task.model_ids:
-        out = models[mid].clone(keep_id=True).predict(xs, batch_size)
-        logits = out if logits is None else logits + out
-    logits = logits / len(task.model_ids)
-    accs = np.zeros(len(task.client_ids))
-    offset = 0
-    for j, cid in enumerate(task.client_ids):
-        data = clients_by_id[cid].data
-        n = data.num_test
-        # A test-less client inside a non-empty group scores 0.0, same as
-        # the all-empty branch above — accuracy() over a zero-length slice
-        # would yield NaN and poison the whole eval's mean.
-        accs[j] = accuracy(logits[offset : offset + n], data.y_test) if n else 0.0
-        offset += n
-    return accs
+    return ensemble_accuracies(
+        (models[mid].clone(keep_id=True).predict(xs, batch_size) for mid in task.model_ids),
+        len(task.model_ids),
+        clients_by_id,
+        task.client_ids,
+    )
+
+
+def _logits_task(
+    models: dict[str, CellModel],
+    clients_by_id: dict[int, FLClient],
+    task: EvalTask,
+    batch_size: int,
+) -> np.ndarray:
+    """Raw logits of one model over one client chunk's concatenated tests.
+
+    The building block of the coordinator's incremental evaluation cache:
+    per-``(model version, chunk)`` logits are computed once and shared
+    across every ensemble that contains the model.  The arithmetic is
+    *identical* to one member-model pass of :func:`_eval_task` (a clone's
+    ``predict`` over the same concatenation), which is what keeps cache-on
+    and cache-off evaluations bit-identical.
+    """
+    if len(task.model_ids) != 1:
+        raise ValueError(f"logits tasks carry exactly one model, got {task.model_ids}")
+    model = models[task.model_ids[0]]
+    xs = np.concatenate([clients_by_id[cid].data.x_test for cid in task.client_ids])
+    if len(xs) == 0:
+        return np.zeros((0, model.num_classes))
+    return model.clone(keep_id=True).predict(xs, batch_size)
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +254,34 @@ class RoundExecutor(ABC):
     ) -> list[np.ndarray]:
         """Per-client accuracies for every group; results in task order."""
 
+    @abstractmethod
+    def logits_round(
+        self, tasks: list[EvalTask], models: dict[str, CellModel], batch_size: int
+    ) -> list[np.ndarray]:
+        """Raw per-model logits for every single-model task; in task order."""
+
+    def eval_and_logits_round(
+        self,
+        eval_tasks: list[EvalTask],
+        logits_tasks: list[EvalTask],
+        models: dict[str, CellModel],
+        batch_size: int,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Run accuracy groups and logits tasks as one wave; two result lists.
+
+        The coordinator's cached evaluation dispatches both kinds per sweep
+        (accuracy tasks for single-model groups — per-client accuracies
+        over the wire, nothing retained — and member-logits tasks for
+        ensembles); a combined wave keeps parallel backends' workers busy
+        across both instead of draining two back-to-back barriers.  The
+        base implementation runs them sequentially (correct everywhere);
+        pooled backends override to interleave.
+        """
+        return (
+            self.eval_round(eval_tasks, models, batch_size),
+            self.logits_round(logits_tasks, models, batch_size),
+        )
+
     def close(self) -> None:
         """Release pooled resources (idempotent; pools recreate lazily)."""
 
@@ -202,6 +299,9 @@ class SerialExecutor(RoundExecutor):
 
     def eval_round(self, tasks, models, batch_size):
         return [_eval_task(models, self.clients_by_id, t, batch_size) for t in tasks]
+
+    def logits_round(self, tasks, models, batch_size):
+        return [_logits_task(models, self.clients_by_id, t, batch_size) for t in tasks]
 
 
 class ThreadPoolRoundExecutor(RoundExecutor):
@@ -236,6 +336,26 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         ]
         return [f.result() for f in futures]
 
+    def logits_round(self, tasks, models, batch_size):
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_logits_task, models, self.clients_by_id, t, batch_size)
+            for t in tasks
+        ]
+        return [f.result() for f in futures]
+
+    def eval_and_logits_round(self, eval_tasks, logits_tasks, models, batch_size):
+        pool = self._ensure_pool()
+        efs = [
+            pool.submit(_eval_task, models, self.clients_by_id, t, batch_size)
+            for t in eval_tasks
+        ]
+        lfs = [
+            pool.submit(_logits_task, models, self.clients_by_id, t, batch_size)
+            for t in logits_tasks
+        ]
+        return [f.result() for f in efs], [f.result() for f in lfs]
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -246,7 +366,7 @@ class ThreadPoolRoundExecutor(RoundExecutor):
 # process-pool backend
 # ----------------------------------------------------------------------
 # Worker-process state, installed once per worker by _proc_init and
-# refreshed at most once per snapshot version by _proc_models.
+# patched forward at most once per snapshot version by _proc_models.
 _WORKER: dict = {}
 
 
@@ -255,37 +375,88 @@ def _proc_init(payload: bytes) -> None:
     _WORKER["clients_by_id"] = {c.client_id: c for c in clients}
     _WORKER["trainer"] = LocalTrainer(trainer_config)
     _WORKER["seed"] = seed
-    _WORKER["version"] = -1
+    _WORKER["version"] = 0  # published snapshot versions start at 1
     _WORKER["models"] = None
 
 
-def _proc_models(version: int, path: str) -> dict[str, CellModel]:
-    if _WORKER["version"] != version:
+def _proc_models(
+    version: int, chain: tuple[tuple[int, str, str], ...]
+) -> dict[str, CellModel]:
+    """Bring this worker's cached suite up to ``version`` and return it.
+
+    ``chain`` is the server's currently retained snapshot files, ordered by
+    version: one full snapshot first, then the deltas published since.  A
+    worker already past the full snapshot replays only the deltas newer
+    than its cached version; a worker that lagged behind the full snapshot
+    (or never loaded one) rebases on it first.  Each file is read at most
+    once per worker per publish, exactly as with full-suite snapshots —
+    the bytes per file are just much smaller.
+    """
+    if _WORKER["version"] == version:
+        return _WORKER["models"]
+    models = _WORKER["models"]
+    cur = _WORKER["version"]
+    base_ver, base_kind, base_path = chain[0]
+    if models is None or cur < base_ver:
+        if base_kind != "full":
+            raise RuntimeError(
+                f"snapshot chain must start with a full snapshot, got {base_kind!r}"
+            )
+        with open(base_path, "rb") as f:
+            _, models = pickle.load(f)
+        cur = base_ver
+    for ver, kind, path in chain[1:]:
+        if ver <= cur:
+            continue
         with open(path, "rb") as f:
-            _WORKER["models"] = pickle.load(f)
-        _WORKER["version"] = version
-    return _WORKER["models"]
+            _, changed, removed, all_ids = pickle.load(f)
+        models.update(changed)
+        for rid in removed:
+            models.pop(rid, None)
+        if set(models) != set(all_ids):
+            raise RuntimeError(
+                f"snapshot delta v{ver} left an incoherent suite: "
+                f"{sorted(set(models) ^ set(all_ids))}"
+            )
+        cur = ver
+    if cur != version:
+        raise RuntimeError(
+            f"worker could not reach snapshot v{version} (stuck at v{cur})"
+        )
+    _WORKER["models"] = models
+    _WORKER["version"] = version
+    return models
 
 
-def _proc_train(version: int, path: str, round_idx: int, item: TrainItem) -> ClientUpdate:
-    models = _proc_models(version, path)
+def _proc_train(
+    version: int, chain: tuple, round_idx: int, item: TrainItem
+) -> ClientUpdate:
+    models = _proc_models(version, chain)
     return _train_item(
         models, _WORKER["clients_by_id"], _WORKER["trainer"], _WORKER["seed"], round_idx, item
     )
 
 
-def _proc_eval(version: int, path: str, task: EvalTask, batch_size: int) -> np.ndarray:
-    models = _proc_models(version, path)
+def _proc_eval(version: int, chain: tuple, task: EvalTask, batch_size: int) -> np.ndarray:
+    models = _proc_models(version, chain)
     return _eval_task(models, _WORKER["clients_by_id"], task, batch_size)
+
+
+def _proc_logits(version: int, chain: tuple, task: EvalTask, batch_size: int) -> np.ndarray:
+    models = _proc_models(version, chain)
+    return _logits_task(models, _WORKER["clients_by_id"], task, batch_size)
 
 
 class ProcessPoolRoundExecutor(RoundExecutor):
     """Process-pool backend: true multi-core rounds.
 
     The fleet ships to workers once via the pool initializer; each round's
-    models are published once to a versioned snapshot file that workers
-    load lazily (at most one read per worker per version), so the per-item
-    payload stays a few hundred bytes.
+    models are published once as a versioned snapshot that workers load
+    lazily (at most one read per worker per version), so the per-item
+    payload stays a few hundred bytes.  Publishing is *incremental*: only
+    models whose :attr:`~repro.nn.model.CellModel.version` moved since the
+    last publish are pickled (see the module docstring).  The public
+    ``publish_*`` / ``*_bytes`` counters meter it for benchmarks and tests.
     """
 
     backend = "process"
@@ -295,8 +466,21 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
         self._snapdir: str | None = None
         self._version = 0
-        self._snapshot_path: str | None = None
-        self._snapshot_models: dict[str, CellModel] | None = None
+        # (version, "full" | "delta", path) of every retained snapshot file:
+        # the latest full snapshot plus the deltas published since it.
+        self._chain: list[tuple[int, str, str]] = []
+        # model_id -> CellModel.version at last publish; None = never published.
+        self._published_versions: dict[str, int] | None = None
+        self._deltas_since_full = 0
+        # Publish metering (public: read by benchmarks and tests).
+        self.publish_count = 0
+        self.full_publish_count = 0
+        self.delta_publish_count = 0
+        self.reused_publish_count = 0
+        self.bytes_pickled_total = 0
+        self.full_bytes_total = 0
+        self.delta_bytes_total = 0
+        self.last_publish_bytes = 0
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
@@ -323,42 +507,99 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         concurrent.futures.wait(futures)
         return [f.result() for f in futures]
 
-    def _publish(self, models: dict[str, CellModel]) -> tuple[int, str]:
-        """Write the round's model snapshot; safe to delete the previous one
-        because train_round/eval_round drain all futures before returning
-        (including on failure — see :meth:`_drain`).
+    def _publish(
+        self, models: dict[str, CellModel]
+    ) -> tuple[int, tuple[tuple[int, str, str], ...]]:
+        """Publish the current suite; returns ``(version, snapshot chain)``.
 
-        Passing the *identical* dict object again reuses the published
-        snapshot: the caller thereby asserts the models are unchanged since
-        that publish.  The sync coordinator builds a fresh dict every round
-        (always republished); the async engine dispatches many small waves
-        between aggregations and reuses one dict for all of them, so the
-        suite is pickled once per aggregation, not once per arrival.
+        Per-model versions decide what (if anything) ships:
+
+        * every version matches the last publish — the snapshot is reused
+          outright, even for a freshly built dict (the async engine's many
+          dispatch waves between aggregations, and repeated evaluations of
+          an idle suite, publish nothing);
+        * some versions moved — only those models are pickled as a delta
+          appended to the chain;
+        * first publish, every model changed, or ``FULL_SNAPSHOT_EVERY``
+          deltas accumulated — a full snapshot is written and the old chain
+          files are deleted (safe: train/eval/logits rounds drain all
+          futures before returning, including on failure — see
+          :meth:`_drain` — so no worker is mid-read between publishes).
         """
         assert self._snapdir is not None
-        if models is self._snapshot_models and self._snapshot_path is not None:
-            return self._version, self._snapshot_path
+        versions = {mid: m.version for mid, m in models.items()}
+        if versions == self._published_versions:
+            self.reused_publish_count += 1
+            return self._version, tuple(self._chain)
+        prev = self._published_versions
+        changed = {
+            mid: m
+            for mid, m in models.items()
+            if prev is None or prev.get(mid) != m.version
+        }
+        removed = frozenset(prev or ()) - frozenset(models)
         self._version += 1
+        full = (
+            prev is None
+            or len(changed) == len(models)
+            or self._deltas_since_full >= FULL_SNAPSHOT_EVERY
+        )
+        if full:
+            payload = pickle.dumps(
+                ("full", dict(models)), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        else:
+            payload = pickle.dumps(
+                ("delta", changed, removed, frozenset(models)),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
         path = os.path.join(self._snapdir, f"models_v{self._version}.pkl")
         with open(path, "wb") as f:
-            pickle.dump(models, f, protocol=pickle.HIGHEST_PROTOCOL)
-        if self._snapshot_path and os.path.exists(self._snapshot_path):
-            os.remove(self._snapshot_path)
-        self._snapshot_path = path
-        self._snapshot_models = models
-        return self._version, path
+            f.write(payload)
+        if full:
+            for _, _, old in self._chain:
+                if os.path.exists(old):
+                    os.remove(old)
+            self._chain = [(self._version, "full", path)]
+            self._deltas_since_full = 0
+            self.full_publish_count += 1
+            self.full_bytes_total += len(payload)
+        else:
+            self._chain.append((self._version, "delta", path))
+            self._deltas_since_full += 1
+            self.delta_publish_count += 1
+            self.delta_bytes_total += len(payload)
+        self._published_versions = versions
+        self.publish_count += 1
+        self.last_publish_bytes = len(payload)
+        self.bytes_pickled_total += len(payload)
+        return self._version, tuple(self._chain)
 
     def train_round(self, round_idx, items, models):
         pool = self._ensure_pool()
-        version, path = self._publish(models)
-        futures = [pool.submit(_proc_train, version, path, round_idx, it) for it in items]
+        version, chain = self._publish(models)
+        futures = [pool.submit(_proc_train, version, chain, round_idx, it) for it in items]
         return self._drain(futures)
 
     def eval_round(self, tasks, models, batch_size):
         pool = self._ensure_pool()
-        version, path = self._publish(models)
-        futures = [pool.submit(_proc_eval, version, path, t, batch_size) for t in tasks]
+        version, chain = self._publish(models)
+        futures = [pool.submit(_proc_eval, version, chain, t, batch_size) for t in tasks]
         return self._drain(futures)
+
+    def logits_round(self, tasks, models, batch_size):
+        pool = self._ensure_pool()
+        version, chain = self._publish(models)
+        futures = [pool.submit(_proc_logits, version, chain, t, batch_size) for t in tasks]
+        return self._drain(futures)
+
+    def eval_and_logits_round(self, eval_tasks, logits_tasks, models, batch_size):
+        pool = self._ensure_pool()
+        version, chain = self._publish(models)  # one publish for the wave
+        efs = [pool.submit(_proc_eval, version, chain, t, batch_size) for t in eval_tasks]
+        lfs = [pool.submit(_proc_logits, version, chain, t, batch_size) for t in logits_tasks]
+        results = self._drain(efs + lfs)
+        return results[: len(efs)], results[len(efs) :]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -367,8 +608,9 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         if self._snapdir is not None:
             shutil.rmtree(self._snapdir, ignore_errors=True)
             self._snapdir = None
-            self._snapshot_path = None
-            self._snapshot_models = None
+            self._chain = []
+            self._published_versions = None
+            self._deltas_since_full = 0
 
 
 _BACKENDS = {

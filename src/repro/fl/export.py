@@ -74,6 +74,8 @@ def log_to_dict(log: TrainingLog) -> dict:
                 "mean_accuracy": e.mean_accuracy,
                 "client_accuracy": [float(a) for a in e.client_accuracy],
                 "client_model": list(e.client_model),
+                "cached_clients": e.cached_clients,
+                "evaluated_clients": e.evaluated_clients,
             }
             for e in log.evals
         ],

@@ -105,13 +105,23 @@ class RoundRecord:
 
 @dataclass
 class EvalRecord:
-    """One evaluation sweep over every registered client."""
+    """One evaluation sweep over every registered client.
+
+    ``cached_clients`` / ``evaluated_clients`` meter the incremental
+    evaluation cache: clients whose deployment group's accuracies were
+    served from the version-keyed cache vs. recomputed with forward passes.
+    They always sum to ``len(client_accuracy)``; with the cache disabled
+    (or a bespoke ``client_logits`` strategy) every client counts as
+    evaluated.
+    """
 
     round_idx: int
     cumulative_macs: float
     client_accuracy: np.ndarray  # (num_clients,)
     client_model: list[str]  # model evaluated per client
     mean_accuracy: float
+    cached_clients: int = 0
+    evaluated_clients: int = 0
 
 
 @dataclass

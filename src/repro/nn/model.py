@@ -5,6 +5,24 @@ cell keeps its ``cell_id`` and an inserted cell mints a fresh one, two models
 related by FedTrans transformations share keys exactly on their common
 lineage — which is what makes cross-model weight sharing (soft aggregation,
 HeteroFL-style cropping) a pure dictionary operation.
+
+Version contract
+----------------
+Every model carries a monotone :attr:`~CellModel.version` counter.  All
+mutating entry points bump it — :meth:`~CellModel.set_params`,
+:meth:`~CellModel.set_state`, :meth:`~CellModel.widen_cell`,
+:meth:`~CellModel.deepen_after` — and code that writes parameters through
+the live references returned by :meth:`~CellModel.params` (optimizer steps,
+re-initialization) must call :meth:`~CellModel.bump_version` itself.
+``clone(keep_id=True)`` carries the version (a replica of server state);
+a fresh-id clone starts a new version history at 0.
+
+Two subsystems key caches on ``(model_id, version)``: the coordinator's
+incremental evaluation cache and the process executor's delta snapshot
+publishing.  The cost accessors :meth:`~CellModel.macs`,
+:meth:`~CellModel.num_params`, and :meth:`~CellModel.nbytes` are memoized
+per version, so hot paths (compatible-model filtering per client) stop
+re-walking every cell.
 """
 
 from __future__ import annotations
@@ -82,8 +100,54 @@ class CellModel:
         self.parent_id = parent_id
         self.birth_round = birth_round
         self.history: list[TransformRecord] = []
+        # Monotone mutation counter (see module docstring).  Cost metrics
+        # are memoized against it: ``_cost_version`` records the version the
+        # cached macs/params/nbytes triple was computed at.
+        self._version = 0
+        self._cost_version = -1
+        self._macs_cache = 0
+        self._num_params_cache = 0
+        self._nbytes_cache = 0
         # Chain validation: raises if shapes are inconsistent.
         self.macs()
+
+    # ------------------------------------------------------------------
+    # versioning
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone counter of parameter/state/structure mutations."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Record a mutation.
+
+        Called automatically by every mutating ``CellModel`` method; code
+        that writes through the live arrays of :meth:`params` /
+        :meth:`state` (e.g. in-place optimizer steps) must call this so
+        version-keyed caches (evaluation cache, snapshot deltas, cost
+        memoization) observe the change.
+        """
+        self._version += 1
+
+    def sync_version(self, version: int) -> None:
+        """Restamp the counter to ``version`` — the derived-model pattern.
+
+        For models *derived* from a source model and republished under a
+        stable id (subnet crops rebuilt from a global model every round):
+        the derived weights are a pure function of the source, so carrying
+        the source's version lets version-keyed caches see a
+        rebuilt-but-identical derivation as unchanged and a
+        rebuilt-after-training one as changed.  A currently valid memoized
+        cost triple is restamped along with it (restamping never changes
+        structure); a stale one is explicitly invalidated so it cannot
+        collide with the new stamp.
+        """
+        if self._cost_version == self._version:
+            self._cost_version = version
+        else:
+            self._cost_version = -1
+        self._version = version
 
     # ------------------------------------------------------------------
     # execution
@@ -164,6 +228,7 @@ class CellModel:
             if live[k].shape != v.shape:
                 raise ValueError(f"shape mismatch for {k}: {live[k].shape} vs {v.shape}")
             live[k][...] = v
+        self.bump_version()
 
     def set_state(self, tree: ParamTree, strict: bool = True) -> None:
         live = self.state()
@@ -173,23 +238,33 @@ class CellModel:
                     raise KeyError(k)
                 continue
             live[k][...] = v
+        self.bump_version()
 
     def zero_grad(self) -> None:
         for cell in self.cells:
             cell.zero_grad()
 
     def num_params(self) -> int:
-        return int(sum(v.size for v in self.params().values()))
+        if self._cost_version != self._version:
+            self._recompute_costs()
+        return self._num_params_cache
 
     def nbytes(self) -> int:
         """Serialized size of the parameters in bytes."""
-        return int(sum(v.nbytes for v in self.params().values()))
+        if self._cost_version != self._version:
+            self._recompute_costs()
+        return self._nbytes_cache
 
     # ------------------------------------------------------------------
     # cost accounting
     # ------------------------------------------------------------------
-    def macs(self) -> int:
-        """Per-sample forward multiply-accumulate operations."""
+    def _recompute_costs(self) -> None:
+        """Walk the chain once; validate it and cache macs/params/nbytes.
+
+        ``_cost_version`` is stamped last so a validation failure mid-walk
+        leaves the cache invalid (the next call re-raises instead of
+        serving a half-computed total).
+        """
         total = 0
         shape = self.input_shape
         for cell in self.cells:
@@ -199,7 +274,21 @@ class CellModel:
             raise ValueError(
                 f"model emits shape {shape}, expected ({self.num_classes},)"
             )
-        return total
+        num_params = 0
+        nbytes = 0
+        for v in self.params().values():
+            num_params += v.size
+            nbytes += v.nbytes
+        self._macs_cache = total
+        self._num_params_cache = int(num_params)
+        self._nbytes_cache = int(nbytes)
+        self._cost_version = self._version
+
+    def macs(self) -> int:
+        """Per-sample forward multiply-accumulate operations (memoized)."""
+        if self._cost_version != self._version:
+            self._recompute_costs()
+        return self._macs_cache
 
     def train_macs_per_sample(self) -> int:
         """Training cost per sample: forward + backward ~= 3x forward MACs."""
@@ -234,8 +323,10 @@ class CellModel:
 
         ``keep_id=True`` keeps the same ``model_id`` — used for per-client
         training workspaces, which are *replicas* of a server model rather
-        than new family members.  The default mints a fresh id (the
-        transformation path).
+        than new family members — and carries the :attr:`version` counter,
+        so a replica answers version-keyed cache lookups exactly like its
+        original.  The default mints a fresh id (the transformation path)
+        and starts a fresh version history.
         """
         new = CellModel(
             [c.clone() for c in self.cells],
@@ -246,6 +337,11 @@ class CellModel:
             birth_round=self.birth_round if birth_round is None else birth_round,
         )
         new.history = list(self.history)
+        if keep_id:
+            # The constructor already validated and cached costs for this
+            # structure; restamp them under the carried version.
+            new._version = self._version
+            new._cost_version = self._version
         return new
 
     def widen_cell(
@@ -293,7 +389,8 @@ class CellModel:
                 {"factor": factor, "params_before": before, "params_after": cell.num_params()},
             )
         )
-        self.macs()  # re-validate the chain
+        self.bump_version()
+        self.macs()  # re-validate the chain (recomputes: the version moved)
 
     def deepen_after(
         self, cell_id: str, rng: np.random.Generator, count: int = 1, round_idx: int = 0
@@ -310,6 +407,7 @@ class CellModel:
         self.history.append(
             TransformRecord("deepen", cell_id, round_idx, {"inserted": inserted})
         )
+        self.bump_version()
         self.macs()
         return inserted
 

@@ -377,27 +377,37 @@ class TestExecutorUnits:
         assert out[0].shape == (2,) and out[1].shape == (2,)
         assert all(0.0 <= a <= 1.0 for accs in out for a in accs)
 
-    def test_process_snapshot_reused_for_identical_dict(self, rng):
-        """Passing the identical models dict again must not republish the
-        snapshot (the async engine dispatches many 1-item waves between
-        aggregations); a fresh dict must."""
+    def test_process_snapshot_reused_while_versions_unchanged(self, rng):
+        """Snapshot reuse is keyed on model *versions*, not dict identity:
+        any publish where no model's version moved — including one with a
+        freshly built dict — reuses the current snapshot; a mutation (which
+        bumps the version) triggers a republish, and that republish is a
+        delta, not a full suite."""
         ds = _dataset(num_clients=3)
         clients = _clients(ds)
         model = mlp(ds.input_shape, ds.num_classes, rng, width=8)
+        idle = mlp(ds.input_shape, ds.num_classes, rng, width=8)
         trainer_cfg = LocalTrainerConfig(batch_size=4, local_steps=2, lr=0.1)
         ex = make_executor("process", clients, trainer_cfg, seed=0, max_workers=2)
         try:
-            models = {model.model_id: model}
+            models = {model.model_id: model, idle.model_id: idle}
             ex.train_round(0, [TrainItem(model.model_id, 0, 0)], models)
             v1 = ex._version
+            assert ex.full_publish_count == 1  # first publish ships the suite
             reused = ex.train_round(1, [TrainItem(model.model_id, 1, 0)], models)
-            assert ex._version == v1  # same object => snapshot reused
+            assert ex._version == v1  # same object, same versions => reused
             ex.train_round(2, [TrainItem(model.model_id, 2, 0)], dict(models))
-            assert ex._version == v1 + 1  # new dict => republished
-            ref = SerialExecutor(clients, trainer_cfg, seed=0).train_round(
-                1, [TrainItem(model.model_id, 1, 0)], models
-            )
+            assert ex._version == v1  # fresh dict, same versions => reused
+            assert ex.reused_publish_count == 2
+            ref_ex = SerialExecutor(clients, trainer_cfg, seed=0)
+            ref = ref_ex.train_round(1, [TrainItem(model.model_id, 1, 0)], models)
             assert reused[0].train_loss == ref[0].train_loss
+            model.set_params({k: v + 0.5 for k, v in model.get_params().items()})
+            changed = ex.train_round(3, [TrainItem(model.model_id, 0, 0)], dict(models))
+            assert ex._version == v1 + 1  # version moved => republished
+            assert ex.delta_publish_count == 1  # ...as a delta, not a full
+            ref3 = ref_ex.train_round(3, [TrainItem(model.model_id, 0, 0)], models)
+            assert changed[0].train_loss == ref3[0].train_loss
         finally:
             ex.close()
 
