@@ -210,16 +210,21 @@ def run_workload_suite(
     profile: ScaleProfile,
     methods: tuple[str, ...] = ("fedtrans", "fluid", "heterofl", "splitmix"),
     seed: int = 0,
+    fedtrans_overrides: dict | None = None,
     coordinator_overrides: dict | None = None,
 ) -> dict[str, WorkloadResult]:
     """The paper's comparison protocol: FedTrans first, baselines on its models.
 
     ``coordinator_overrides`` (e.g. ``{"executor": "process"}``) applies to
-    every method's coordinator, so the whole suite runs on one backend.
+    every method's coordinator, so the whole suite runs on one backend;
+    ``fedtrans_overrides`` (e.g. ``{"evict_after": 50}``) applies to the
+    leading FedTrans run only.
     """
     results: dict[str, WorkloadResult] = {}
     ft = run_method(
-        "fedtrans", dataset, profile, seed, coordinator_overrides=coordinator_overrides
+        "fedtrans", dataset, profile, seed,
+        fedtrans_overrides=fedtrans_overrides,
+        coordinator_overrides=coordinator_overrides,
     )
     results["fedtrans"] = ft
     suite = ft.strategy.models()

@@ -26,6 +26,7 @@ from .bench import active_profile, ascii_table, build_dataset, run_method, run_w
 from .bench.profiles import DATASETS, PROFILES
 from .bench.workloads import METHODS
 from .fl.executor import EXECUTOR_BACKENDS
+from .fl.scheduling import PACING_POLICIES, SELECTOR_POLICIES, STRAGGLER_POLICIES
 from .fl.export import log_to_dict, save_log
 from .nn.serialization import save_model
 
@@ -59,6 +60,20 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    default=True,
                    help="disable the incremental evaluation cache (bit-identical "
                         "either way; on by default)")
+    p.add_argument("--selector", choices=SELECTOR_POLICIES, default="uniform",
+                   help="client selection policy (uniform reproduces the "
+                        "pre-subsystem behavior bit-for-bit)")
+    p.add_argument("--pacing", choices=PACING_POLICIES, default="static",
+                   help="async aggregation pacing: static buffer_k/deadline, "
+                        "adaptive buffer_k (arrival-rate scaled), or per-device-"
+                        "class deadline quantiles")
+    p.add_argument("--straggler", choices=STRAGGLER_POLICIES, default="drop",
+                   help="async straggler policy: drop late arrivals, or downsize "
+                        "predicted-late clients to a smaller compatible model")
+    p.add_argument("--evict-after", type=int, default=None,
+                   help="evict a client's utility state after this many rounds "
+                        "of inactivity (FedTrans-family strategies; default: "
+                        "keep forever)")
 
 
 def _coordinator_overrides(args) -> dict:
@@ -74,6 +89,8 @@ def _coordinator_overrides(args) -> dict:
                 "pass --executor thread or --executor process"
             )
         over["max_workers"] = args.workers
+    if args.selector != "uniform":
+        over["selector"] = args.selector
     if args.mode != "sync":
         over["mode"] = args.mode
         if args.buffer_k is not None:
@@ -82,10 +99,23 @@ def _coordinator_overrides(args) -> dict:
             over["deadline_s"] = args.deadline
         if args.staleness_discount is not None:
             over["staleness_discount"] = args.staleness_discount
+        if args.pacing != "static":
+            over["pacing"] = args.pacing
+        if args.straggler != "drop":
+            over["straggler"] = args.straggler
     elif any(v is not None for v in (args.buffer_k, args.deadline, args.staleness_discount)):
         raise SystemExit(
             "--buffer-k/--deadline/--staleness-discount require --mode async"
         )
+    elif args.pacing != "static" or args.straggler != "drop":
+        raise SystemExit("--pacing/--straggler require --mode async")
+    return over
+
+
+def _fedtrans_overrides(args) -> dict:
+    over = {}
+    if args.evict_after is not None:
+        over["evict_after"] = args.evict_after
     return over
 
 
@@ -100,11 +130,12 @@ def cmd_run(args) -> int:
     profile = _profile(args)
     dataset = build_dataset(profile, seed=args.seed)
     coord_over = _coordinator_overrides(args)
+    ft_over = _fedtrans_overrides(args)
     if args.method in ("heterofl", "splitmix", "fluid"):
         # These need FedTrans's largest model (the Appendix A.1 protocol).
         ft = run_method(
             "fedtrans", dataset, profile, seed=args.seed,
-            coordinator_overrides=coord_over,
+            fedtrans_overrides=ft_over, coordinator_overrides=coord_over,
         )
         largest = max(ft.strategy.models().values(), key=lambda m: m.macs())
         res = run_method(
@@ -114,7 +145,7 @@ def cmd_run(args) -> int:
     else:
         res = run_method(
             args.method, dataset, profile, seed=args.seed,
-            coordinator_overrides=coord_over,
+            fedtrans_overrides=ft_over, coordinator_overrides=coord_over,
         )
     print(ascii_table([res.summary.row()], f"{args.method} on {args.dataset}"))
     if args.save_log:
@@ -133,6 +164,7 @@ def cmd_suite(args) -> int:
     dataset = build_dataset(profile, seed=args.seed)
     results = run_workload_suite(
         dataset, profile, seed=args.seed,
+        fedtrans_overrides=_fedtrans_overrides(args),
         coordinator_overrides=_coordinator_overrides(args),
     )
     rows = [r.summary.row() for r in results.values()]

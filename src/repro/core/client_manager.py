@@ -1,18 +1,31 @@
 """Client Manager: utility-based model assignment (§4.2, Eqs. 2-4).
 
-Per registered client the manager keeps a loss-based utility per model.
-When a client participates, a model is *sampled* from the softmax of its
+Per client the manager keeps a loss-based utility per model.  When a
+client participates, a model is *sampled* from the softmax of its
 utilities over the compatible set (Eqs. 2-3) — soft assignment that keeps
 exploring while favouring models that fit the client's data.  After each
-round the utilities of **all** models are jointly updated from the round's
-standardized training loss, scaled by architectural similarity (Eq. 4), so
-new and rarely-trained models inherit signal from their relatives.
+round the utilities of the client's **compatible** models are jointly
+updated from the round's standardized training loss, scaled by
+architectural similarity (Eq. 4), so new and rarely-trained models inherit
+signal from their relatives.  (Models outside a client's compatible set
+are skipped: the client can never train or deploy them — capacities are
+fixed and the suite only grows upward — so maintaining their utilities was
+pure per-update cost.)
+
+Utility state lives in a sparse
+:class:`~repro.fl.scheduling.store.ClientStateStore`: entries materialize
+on first participation and, with ``evict_after`` set, clients inactive for
+that many rounds are evicted — memory stays proportional to the *active*
+fleet, not the registered one.  Decay/clamp already bound utility
+magnitudes, so a rehydrated client restarts from the all-zero prior
+(exactly a fresh client) and relearns within a few participations.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..fl.scheduling.store import ClientStateStore
 from ..nn.model import CellModel
 from .similarity import model_similarity
 
@@ -49,7 +62,9 @@ class ClientManager:
     models pinned to opposite clamps, the softmax gap is ``2 * clamp``
     (probability floor ``~e^-10`` at the default 5.0), so assignment
     keeps exploring.  Set ``1.0`` / ``0.0`` respectively to disable
-    either.
+    either.  ``evict_after`` bounds *memory*: clients inactive for that
+    many rounds (see :meth:`advance_round`) are dropped from the store;
+    ``None`` (the default) keeps every entry forever.
     """
 
     def __init__(
@@ -57,6 +72,7 @@ class ClientManager:
         sim_cache: SimilarityCache | None = None,
         utility_decay: float = 0.99,
         utility_clamp: float = 5.0,
+        evict_after: int | None = None,
     ):
         if not 0.0 < utility_decay <= 1.0:
             raise ValueError("utility_decay must lie in (0, 1]")
@@ -65,18 +81,28 @@ class ClientManager:
         self.sim_cache = sim_cache or SimilarityCache()
         self.utility_decay = utility_decay
         self.utility_clamp = utility_clamp
-        self._utilities: dict[int, dict[str, float]] = {}
+        self.store = ClientStateStore(evict_after=evict_after)
+
+    @property
+    def _utilities(self) -> dict[int, dict[str, float]]:
+        # Legacy view of the raw per-client dicts (shared with the store).
+        return self.store.data
 
     # ------------------------------------------------------------------
     def utility(self, client_id: int, model_id: str) -> float:
-        """Current utility (0 for never-updated pairs)."""
-        return self._utilities.get(client_id, {}).get(model_id, 0.0)
+        """Current utility (0 for never-updated or evicted pairs)."""
+        st = self.store.get(client_id)
+        return st.get(model_id, 0.0) if st else 0.0
 
     def register_model(self, new_id: str, parent_id: str) -> None:
         """New model inherits its parent's utility per client (Alg. 1 l.18)."""
-        for utils in self._utilities.values():
+        for utils in self.store.values():
             if parent_id in utils:
                 utils[new_id] = utils[parent_id]
+
+    def advance_round(self, round_idx: int) -> list[int]:
+        """Advance the store's activity clock; returns the evicted ids."""
+        return self.store.advance(round_idx)
 
     # ------------------------------------------------------------------
     def assignment_probabilities(
@@ -108,7 +134,7 @@ class ClientManager:
             raise ValueError("no compatible models")
 
         def global_mean(mid: str) -> float:
-            vals = [u[mid] for u in self._utilities.values() if mid in u]
+            vals = [u[mid] for u in self.store.values() if mid in u]
             return float(np.mean(vals)) if vals else 0.0
 
         ranked = sorted(
@@ -123,12 +149,22 @@ class ClientManager:
         return compatible_ids[ranked[0]]
 
     # ------------------------------------------------------------------
-    def update(self, updates, models: dict[str, CellModel]) -> None:
+    def update(
+        self,
+        updates,
+        models: dict[str, CellModel],
+        compatible: dict[int, set[str]] | None = None,
+    ) -> None:
         """Eq. 4 joint utility update after a round.
 
         ``updates`` is the round's list of :class:`ClientUpdate`; losses are
         standardized *across the round's participants* so a below-average
         loss raises utility and an above-average loss lowers it.
+        ``compatible`` maps client ids to their compatible model ids; when
+        given, the similarity-scaled update only walks that set (a missing
+        client id, or ``compatible=None``, falls back to all models — the
+        legacy behavior, still right for callers without capacity
+        information).
         """
         if not updates:
             return
@@ -141,14 +177,17 @@ class ClientManager:
             standardized = (losses - mean) / std
         if self.utility_decay < 1.0:
             for cid in dict.fromkeys(u.client_id for u in updates):
-                utils = self._utilities.get(cid)
+                utils = self.store.get(cid)
                 if utils:
                     for mid in utils:
                         utils[mid] *= self.utility_decay
         for u, l_std in zip(updates, standardized):
             assigned = models[u.model_id]
-            utils = self._utilities.setdefault(u.client_id, {})
+            allowed = compatible.get(u.client_id) if compatible is not None else None
+            utils = self.store.materialize(u.client_id)
             for mid, model in models.items():
+                if allowed is not None and mid not in allowed:
+                    continue
                 sim = self.sim_cache.get(model, assigned)
                 if sim <= 0.0:
                     continue
@@ -156,3 +195,15 @@ class ClientManager:
                 if self.utility_clamp:
                     val = min(max(val, -self.utility_clamp), self.utility_clamp)
                 utils[mid] = val
+
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Serializable snapshot of the utility store (checkpointing)."""
+        return self.store.state_dict()
+
+    def set_state(self, payload: dict) -> None:
+        """Restore a :meth:`get_state` snapshot (keeps this manager's knobs)."""
+        evict_after = self.store.evict_after
+        self.store.load_state_dict(payload)
+        # The eviction horizon is configuration, not checkpoint payload.
+        self.store.evict_after = evict_after

@@ -62,6 +62,11 @@ class FedTransConfig:
         Hard bound on ``|utility|`` so assignment probabilities stay
         non-degenerate (worst-case softmax gap is ``2 * clamp``).  0.0
         disables.
+    evict_after:
+        Rounds of inactivity before a client's utility state is evicted
+        from the Client Manager's sparse store (memory proportional to the
+        *active* fleet; an evicted client rehydrates as a fresh one).
+        ``None`` (default) disables eviction — the dense legacy behavior.
     min_rounds_between_transforms:
         Extra cooldown after a transformation; the DoC history reset already
         enforces ``gamma + delta`` rounds, this only adds to it.
@@ -98,6 +103,7 @@ class FedTransConfig:
     min_rounds_between_transforms: int = 0
     utility_decay: float = 0.99
     utility_clamp: float = 5.0
+    evict_after: int | None = None
     gradient_cell_selection: bool = True
     soft_aggregation: bool = True
     warmup: bool = True
@@ -127,6 +133,8 @@ class FedTransConfig:
             raise ValueError("utility_decay must lie in (0, 1]")
         if self.utility_clamp < 0.0:
             raise ValueError("utility_clamp must be non-negative (0 disables)")
+        if self.evict_after is not None and self.evict_after < 1:
+            raise ValueError("evict_after must be >= 1 (None disables eviction)")
 
     def scaled(self, **overrides) -> "FedTransConfig":
         """A copy with fields replaced (bench profiles shrink γ/δ)."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..fl.strategy import Strategy
+from ..fl.strategy import Strategy, compatible_model_ids
 from ..fl.types import ClientUpdate, FLClient
 from ..nn.model import CellModel
 from ..nn.param_ops import ParamTree
@@ -56,11 +56,17 @@ class FedTransStrategy(Strategy):
             self.sim_cache,
             utility_decay=config.utility_decay,
             utility_clamp=config.utility_clamp,
+            evict_after=config.evict_after,
         )
         self.aggregator = ModelAggregator(config, self.sim_cache, server_opt_factory)
         self.transformer = ModelTransformer(config, max_capacity_macs)
         self._models: dict[str, CellModel] = {initial_model.model_id: initial_model}
         self._birth_order: list[str] = [initial_model.model_id]
+        # Capacity budget per client, remembered at assignment time so
+        # aggregate() can re-derive each updater's compatible set (the
+        # Eq. 4 walk skips models the client could never run).
+        self._capacity: dict[int, float] = {}
+        self._evicted_unreported = 0
 
     # ------------------------------------------------------------------
     # Strategy interface
@@ -82,6 +88,7 @@ class FedTransStrategy(Strategy):
         out: dict[int, list[str]] = {}
         for client in participants:
             compatible = self.compatible_models(client)
+            self._capacity[client.client_id] = client.capacity_macs
             out[client.client_id] = [
                 self.client_manager.sample_model(client.client_id, compatible, rng)
             ]
@@ -94,8 +101,28 @@ class FedTransStrategy(Strategy):
         rng: np.random.Generator,
     ) -> list[str]:
         events: list[str] = []
-        # l.11 — joint utility learning from this round's losses.
-        self.client_manager.update(updates, self._models)
+        # Sparse-store bookkeeping: advance the activity clock first so a
+        # client evicted for long inactivity that participates *this* round
+        # rehydrates fresh below rather than surviving on a stale stamp.
+        evicted_ids = self.client_manager.advance_round(round_idx)
+        if evicted_ids:
+            self._evicted_unreported += len(evicted_ids)
+            for cid in evicted_ids:
+                self._capacity.pop(cid, None)
+            events.append(
+                f"evicted {len(evicted_ids)} inactive client(s) from utility store"
+            )
+        # l.11 — joint utility learning from this round's losses, restricted
+        # to each updater's compatible set (capacities remembered at assign;
+        # a client seen without one falls back to the all-models walk).
+        # compatible_model_ids carries the cheapest-model fallback, so a
+        # too-weak client's trained-and-deployed model keeps learning.
+        compatible = {
+            cid: set(compatible_model_ids(self._models, self._capacity[cid]))
+            for cid in {u.client_id for u in updates}
+            if cid in self._capacity
+        }
+        self.client_manager.update(updates, self._models, compatible)
         # l.13 — inter-model weight aggregation.
         self.aggregator.aggregate(self._models, self._birth_order, updates, round_idx)
         # l.15 — convergence + activeness feedback for the frontier model.
@@ -122,6 +149,10 @@ class FedTransStrategy(Strategy):
     def eval_model_for(self, client: FLClient) -> str:
         compatible = self.compatible_models(client)
         return self.client_manager.best_model(client.client_id, compatible)
+
+    def scheduler_counters(self) -> dict[str, int]:
+        evicted, self._evicted_unreported = self._evicted_unreported, 0
+        return {"evicted": evicted} if evicted else {}
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -16,6 +16,18 @@ from .executor import (
 )
 from .export import load_log, log_to_dict, save_log
 from .metrics import RunSummary, iqr, summarize
+from .scheduling import (
+    PACING_POLICIES,
+    SELECTOR_POLICIES,
+    STRAGGLER_POLICIES,
+    ClientSelector,
+    ClientStateStore,
+    PacingPolicy,
+    StragglerPolicy,
+    make_pacing,
+    make_selector,
+    make_straggler,
+)
 from .selection import select_uniform
 from .strategy import Strategy
 from .types import (
@@ -24,6 +36,7 @@ from .types import (
     EvalRecord,
     FLClient,
     RoundRecord,
+    SchedulerRecord,
     TrainingLog,
 )
 
@@ -56,5 +69,16 @@ __all__ = [
     "EvalRecord",
     "FLClient",
     "RoundRecord",
+    "SchedulerRecord",
     "TrainingLog",
+    "SELECTOR_POLICIES",
+    "PACING_POLICIES",
+    "STRAGGLER_POLICIES",
+    "ClientSelector",
+    "PacingPolicy",
+    "StragglerPolicy",
+    "ClientStateStore",
+    "make_selector",
+    "make_pacing",
+    "make_straggler",
 ]

@@ -1,4 +1,4 @@
-"""Buffered-asynchronous round engine with a deadline straggler policy.
+"""Buffered-asynchronous round engine with pluggable scheduling policies.
 
 Synchronous FL pays the straggler tax every round: the barrier waits for
 the slowest participant (``round_time = max(client_times)``, the regime the
@@ -15,18 +15,32 @@ paper's Table 6 measures).  This engine removes the barrier the way FedBuff
   first ``buffer_k`` arrivals.  Updates dispatched against older server
   weights carry a staleness count; the default hook discounts them by
   ``staleness_discount ** staleness``.
-* A deadline policy drops any arrival whose simulated duration exceeds
-  ``deadline_s``: the server stops waiting at ``dispatch + deadline_s``,
-  frees the client's slot, and meters the wasted compute/download in the
-  cost ledger (``TrainingLog.dropped_updates`` / ``dropped_macs``; the
-  dropped upload never lands, so ``bytes_up`` is not charged).
+
+Participation, cadence, and straggler handling are policies from
+:mod:`~repro.fl.scheduling`, consulted at every dispatch wave:
+
+* the **selector** picks each wave's clients from the not-in-flight pool;
+* the **pacing policy** supplies the step's effective ``buffer_k`` and a
+  per-client deadline (``static`` reproduces the old global knobs;
+  ``adaptive`` rescales the buffer with the observed arrival rate;
+  ``quantile`` estimates per-device-class deadlines from completed round
+  times) and is fed every arrival's true duration;
+* the **straggler policy** sees each dispatch *before* compute runs:
+  ``drop`` leaves it alone — an arrival past its deadline is discarded
+  with the wasted compute metered (``TrainingLog.dropped_updates`` /
+  ``dropped_macs``; the dropped upload never lands, so ``bytes_up`` is not
+  charged) — while ``downsize`` re-assigns a predicted-late client the
+  largest *compatible smaller* model whose estimated round time fits the
+  deadline, so the slot yields a usable update instead of a drop
+  (``TrainingLog.downsized_updates``).
 
 **Determinism contract** (same as the sync engine): event ties break on
 ``(finish_time, dispatch_seq)``, every work item's RNG derives from
 ``SeedSequence(seed, spawn_key=(wave, client, sub))``, and selection /
 assignment / aggregation consume the coordinator RNG in event order — so
 async runs are bit-reproducible for a fixed seed across all executor
-backends.
+backends.  The default policy stack (uniform/static/drop) consumes that
+RNG in exactly the pre-subsystem order.
 
 ``round_time`` semantics differ from sync mode: each
 :class:`~repro.fl.types.RoundRecord` covers one buffered aggregation step
@@ -42,9 +56,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .executor import RoundExecutor, TrainItem
-from .selection import select_uniform
+from .scheduling import ClientSelector, make_pacing, make_selector, make_straggler
 from .strategy import Strategy
-from .types import ArrivalRecord, ClientUpdate, FLClient, RoundRecord, TrainingLog
+from .types import (
+    ArrivalRecord,
+    ClientUpdate,
+    FLClient,
+    RoundRecord,
+    SchedulerRecord,
+    TrainingLog,
+)
 
 __all__ = ["VirtualClock", "BufferedAsyncEngine"]
 
@@ -88,6 +109,7 @@ class _Pending:
     finish_time: float
     version: int  # server aggregation count at dispatch (staleness anchor)
     dropped: bool
+    downsized: bool = False
     updates: list[ClientUpdate] = field(default_factory=list)
 
 
@@ -108,6 +130,7 @@ class BufferedAsyncEngine:
         config,  # CoordinatorConfig; untyped to avoid a circular import
         executor: RoundExecutor,
         rng: np.random.Generator,
+        selector: ClientSelector | None = None,
     ):
         self.strategy = strategy
         self.clients = clients
@@ -120,10 +143,25 @@ class BufferedAsyncEngine:
             config.async_concurrency or config.clients_per_round, len(clients)
         )
         self.deadline_s = config.deadline_s
+        self.selector = selector or make_selector(config.selector, seed=config.seed)
+        self.pacing = make_pacing(
+            config.pacing,
+            base_k=self.buffer_k,
+            deadline_s=config.deadline_s,
+            max_k=self.concurrency,
+            clients=clients,
+        )
+        self.straggler = make_straggler(config.straggler)
         self._in_flight: set[int] = set()
         self._dispatch_seq = 0
         self._wave = 0
         self._version = 0  # completed aggregation steps
+        # Per-step scheduling accumulators, reset at each step() entry;
+        # _fill_slots (only ever called from step) meters into them.
+        self._step_requested = 0
+        self._step_selected = 0
+        self._step_downsized = 0
+        self._step_events: list[str] = []
         # One models dict per aggregation epoch: server models only mutate
         # in aggregate_buffered, so every wave in between reuses the same
         # dict (saves rebuilding it per arrival).  The process executor
@@ -142,8 +180,9 @@ class BufferedAsyncEngine:
     def _fill_slots(self) -> None:
         """Dispatch fresh work until ``concurrency`` clients are in flight.
 
-        Each call is one *wave*: selection and assignment draw from the
-        coordinator RNG, then the whole wave's training runs through the
+        Each call is one *wave*: the selector and assignment draw from the
+        coordinator RNG, the straggler policy gets a veto on predicted-late
+        dispatches, then the whole wave's training runs through the
         executor against the current server models (this is where
         serial/thread/process parallelism applies).  The wave index doubles
         as the executor's ``round_idx``, so every ``(wave, client, sub)``
@@ -159,9 +198,36 @@ class BufferedAsyncEngine:
             return
         wave = self._wave
         self._wave += 1
-        selected = select_uniform(available, min(need, len(available)), self.rng)
+        want = min(need, len(available))
+        selected = self.selector.select(wave, available, want, self.rng)
+        self._step_requested += need
+        self._step_selected += len(selected)
         assignments = self.strategy.assign(wave, selected, self.rng)
         models = self._models()
+        # Straggler policy: a predicted-late client may be re-assigned a
+        # smaller compatible model before any compute is spent.
+        deadlines: dict[int, float | None] = {}
+        downsized_ids: set[int] = set()
+        for client in selected:
+            deadline = self.pacing.deadline_for(client)
+            deadlines[client.client_id] = deadline
+            mids = assignments[client.client_id]
+            revised, downsized = self.straggler.resolve(
+                client,
+                mids,
+                deadline,
+                models,
+                self.config.trainer,
+                self.strategy.compatible_models,
+            )
+            if downsized:
+                assignments[client.client_id] = revised
+                downsized_ids.add(client.client_id)
+                self._step_downsized += 1
+                self._step_events.append(
+                    f"downsized client {client.client_id}: {mids[0]} -> "
+                    f"{revised[0]} to fit deadline {deadline:g}s"
+                )
         items = [
             TrainItem(model_id, client.client_id, sub_idx)
             for client in selected
@@ -175,11 +241,12 @@ class BufferedAsyncEngine:
             ups = per_client[client.client_id]
             # Sub-models train sequentially on-device (as in sync mode).
             duration = float(sum(u.round_time for u in ups))
-            dropped = self.deadline_s is not None and duration > self.deadline_s
+            deadline = deadlines[client.client_id]
+            dropped = deadline is not None and duration > deadline
             # The server stops waiting at the deadline; the straggler's own
             # finish time is recorded for the log either way.
             event_time = self.clock.now + (
-                min(duration, self.deadline_s) if dropped else duration
+                min(duration, deadline) if dropped else duration
             )
             seq = self._dispatch_seq
             self._dispatch_seq += 1
@@ -195,6 +262,7 @@ class BufferedAsyncEngine:
                     finish_time=self.clock.now + duration,
                     version=self._version,
                     dropped=dropped,
+                    downsized=client.client_id in downsized_ids,
                     updates=ups,
                 ),
             )
@@ -203,12 +271,17 @@ class BufferedAsyncEngine:
     def step(self, step_idx: int, log: TrainingLog) -> RoundRecord:
         """Run one buffered aggregation step; returns its RoundRecord.
 
-        Collects arrivals (dropping deadline violators) until ``buffer_k``
-        usable updates are buffered, fires the strategy's staleness-aware
-        aggregation, and meters every event — kept or dropped — into the
-        log's cost ledger.
+        Collects arrivals (dropping deadline violators) until the pacing
+        policy's effective ``buffer_k`` usable updates are buffered, fires
+        the strategy's staleness-aware aggregation, and meters every event
+        — kept, dropped, or downsized — into the log's cost ledger.
         """
         t_start = self.clock.now
+        effective_k = self.pacing.buffer_k(step_idx)
+        self._step_requested = 0
+        self._step_selected = 0
+        self._step_downsized = 0
+        self._step_events = []
         buffered: list[_Pending] = []
         arrivals: list[ArrivalRecord] = []
         step_macs = 0.0
@@ -216,7 +289,7 @@ class BufferedAsyncEngine:
         bytes_up = 0
         consecutive_drops = 0
         drop_limit = max(64, 8 * self.concurrency)
-        while len(buffered) < self.buffer_k:
+        while len(buffered) < effective_k:
             self._fill_slots()
             _, _, pending = self.clock.pop()
             self._in_flight.discard(pending.client_id)
@@ -230,7 +303,14 @@ class BufferedAsyncEngine:
                     finish_time=pending.finish_time,
                     staleness=staleness,
                     dropped=pending.dropped,
+                    downsized=pending.downsized,
                 )
+            )
+            self.pacing.observe_arrival(
+                pending.client_id,
+                pending.finish_time - pending.dispatch_time,
+                self.clock.now,
+                pending.dropped,
             )
             macs = float(sum(u.macs_spent for u in pending.updates))
             step_macs += macs
@@ -240,10 +320,15 @@ class BufferedAsyncEngine:
                 log.dropped_macs += macs
                 consecutive_drops += 1
                 if consecutive_drops > drop_limit:
+                    which = (
+                        f"per-class deadline quantiles {self.pacing.deadline_quantiles()}"
+                        if self.config.pacing == "quantile"
+                        else f"deadline_s={self.deadline_s}"
+                    )
                     raise RuntimeError(
-                        f"deadline_s={self.deadline_s} dropped {consecutive_drops} "
-                        "arrivals in a row — no client can finish inside the "
-                        "deadline; raise it"
+                        f"{which} dropped {consecutive_drops} arrivals in a row "
+                        "— no client can finish inside its deadline; raise it "
+                        "(or use the downsize straggler policy)"
                     )
                 continue
             consecutive_drops = 0
@@ -263,17 +348,29 @@ class BufferedAsyncEngine:
         )
         self._version += 1
         self._models_epoch = None  # server models changed; next wave re-snapshots
+        self.selector.observe_round(step_idx, updates)
 
         log.total_macs += step_macs
         log.total_bytes_down += bytes_down
         log.total_bytes_up += bytes_up
+        log.downsized_updates += self._step_downsized
         events = list(events or [])
+        events.extend(self._step_events)
         dropped_here = sum(1 for a in arrivals if a.dropped)
         if dropped_here:
-            events.append(
-                f"dropped {dropped_here} straggler arrival(s) past "
-                f"deadline {self.deadline_s}s"
+            # Only quantile pacing has per-class deadlines; static and
+            # adaptive both hold every client to the one global deadline_s.
+            deadline_desc = (
+                "their per-class deadlines"
+                if self.config.pacing == "quantile"
+                else f"deadline {self.deadline_s}s"
             )
+            events.append(
+                f"dropped {dropped_here} straggler arrival(s) past {deadline_desc}"
+            )
+        counters = self.strategy.scheduler_counters()
+        evicted = int(counters.get("evicted", 0))
+        log.evicted_clients += evicted
         return RoundRecord(
             round_idx=step_idx,
             participants=[p.client_id for p in buffered],
@@ -286,4 +383,17 @@ class BufferedAsyncEngine:
             num_models=len(self.strategy.models()),
             events=events,
             arrivals=arrivals,
+            scheduler=SchedulerRecord(
+                selector=self.config.selector,
+                pacing=self.config.pacing,
+                straggler=self.config.straggler,
+                requested=self._step_requested,
+                selected=self._step_selected,
+                effective_buffer_k=effective_k,
+                deadline_s=self.deadline_s,
+                deadline_quantiles=self.pacing.deadline_quantiles(),
+                downsized=self._step_downsized,
+                dropped=dropped_here,
+                evicted=evicted,
+            ),
         )

@@ -94,6 +94,32 @@ version, never by heuristics.  ``EvalRecord.cached_clients`` /
 caches evict entries untouched by the latest sweep, bounding memory at one
 sweep's working set.
 
+Scheduling subsystem
+--------------------
+Who participates, when aggregation fires, and what happens to predicted
+stragglers are pluggable policies (:mod:`~repro.fl.scheduling`), selected
+by name through ``CoordinatorConfig.selector`` / ``pacing`` /
+``straggler``.  Policy resolution order:
+
+1. CLI flags (``--selector`` / ``--pacing`` / ``--straggler`` /
+   ``--evict-after``) override…
+2. the ``CoordinatorConfig`` fields (defaults: ``uniform`` / ``static`` /
+   ``drop``), which the coordinator resolves through…
+3. the scheduling registries (:func:`~repro.fl.scheduling.make_selector`
+   etc.) at construction time, handing each policy the run seed, the
+   resolved ``buffer_k``/``deadline_s``, and the fleet; after which…
+4. each policy's own defaults (availability rate, quantile level, …)
+   apply.
+
+The selector runs in both modes; pacing and straggler policies are
+consulted by the async engine per dispatch wave (sync mode rejects
+non-default values, as it already did for the raw async knobs).  The
+default stack reproduces the pre-subsystem behavior bit-for-bit; every
+round's decisions are exported on ``RoundRecord.scheduler`` (effective
+``buffer_k``, active deadline quantiles, downsized/dropped/evicted
+counts).  Strategy-side eviction state (FedTrans's sparse utility store)
+reaches the record through :meth:`Strategy.scheduler_counters`.
+
 Note: ``convergence_patience`` is measured in *evaluations* (one every
 ``eval_every`` rounds), not in rounds — patience 10 with ``eval_every=10``
 spans 100 training rounds.
@@ -116,9 +142,14 @@ from .executor import (
     ensemble_accuracies,
     make_executor,
 )
-from .selection import select_uniform
+from .scheduling import (
+    PACING_POLICIES,
+    SELECTOR_POLICIES,
+    STRAGGLER_POLICIES,
+    make_selector,
+)
 from .strategy import Strategy
-from .types import EvalRecord, FLClient, RoundRecord, TrainingLog
+from .types import EvalRecord, FLClient, RoundRecord, SchedulerRecord, TrainingLog
 
 __all__ = ["CoordinatorConfig", "Coordinator"]
 
@@ -168,6 +199,13 @@ class CoordinatorConfig:
     # Async: per-step staleness discount base in (0, 1]; an update that
     # missed s aggregations contributes with weight discount**s (1 disables).
     staleness_discount: float = 0.5
+    # Scheduling policies (see module docstring / repro.fl.scheduling).
+    # The selector applies in both modes; pacing and straggler policies are
+    # async-only, and non-default values are rejected in sync mode for the
+    # same reason the raw async knobs are.
+    selector: str = "uniform"
+    pacing: str = "static"
+    straggler: str = "drop"
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -186,10 +224,27 @@ class CoordinatorConfig:
             raise ValueError(f"eval_cache must be a bool, got {self.eval_cache!r}")
         if self.mode not in ("sync", "async"):
             raise ValueError(f"mode must be 'sync' or 'async', got {self.mode!r}")
+        # Policy names validate before the mode cross-checks so a typo in a
+        # sync config reads as "unknown policy", not "requires async".
+        if self.selector not in SELECTOR_POLICIES:
+            raise ValueError(
+                f"selector must be one of {SELECTOR_POLICIES}, got {self.selector!r}"
+            )
+        if self.pacing not in PACING_POLICIES:
+            raise ValueError(
+                f"pacing must be one of {PACING_POLICIES}, got {self.pacing!r}"
+            )
+        if self.straggler not in STRAGGLER_POLICIES:
+            raise ValueError(
+                f"straggler must be one of {STRAGGLER_POLICIES}, got {self.straggler!r}"
+            )
         if self.mode == "sync":
             for knob in ("buffer_k", "async_concurrency", "deadline_s"):
                 if getattr(self, knob) is not None:
                     raise ValueError(f"{knob} requires mode='async'")
+            for knob, default in (("pacing", "static"), ("straggler", "drop")):
+                if getattr(self, knob) != default:
+                    raise ValueError(f"{knob}={getattr(self, knob)!r} requires mode='async'")
         if self.buffer_k is not None and self.buffer_k < 1:
             raise ValueError("buffer_k must be >= 1")
         if self.async_concurrency is not None and self.async_concurrency < 1:
@@ -222,8 +277,11 @@ class Coordinator:
         self.executor = executor or make_executor(
             config.executor, clients, config.trainer, config.seed, config.max_workers
         )
+        self.selector = make_selector(config.selector, seed=config.seed)
         self._async_engine = (
-            BufferedAsyncEngine(strategy, clients, config, self.executor, self._rng)
+            BufferedAsyncEngine(
+                strategy, clients, config, self.executor, self._rng, self.selector
+            )
             if config.mode == "async"
             else None
         )
@@ -302,7 +360,9 @@ class Coordinator:
         if self._async_engine is not None:
             return self._async_engine.step(round_idx, log)
         cfg = self.config
-        participants = select_uniform(self.clients, cfg.clients_per_round, self._rng)
+        participants = self.selector.select(
+            round_idx, self.clients, cfg.clients_per_round, self._rng
+        )
         assignments = self.strategy.assign(round_idx, participants, self._rng)
         models = self.strategy.models()
 
@@ -321,6 +381,7 @@ class Coordinator:
         client_times = [elapsed[c.client_id] for c in participants]
 
         events = self.strategy.aggregate(round_idx, updates, self._rng)
+        self.selector.observe_round(round_idx, updates)
 
         macs = float(sum(u.macs_spent for u in updates))
         bdown = sum(u.bytes_down for u in updates)
@@ -328,6 +389,15 @@ class Coordinator:
         log.total_macs += macs
         log.total_bytes_down += bdown
         log.total_bytes_up += bup
+        events = list(events or [])
+        if len(participants) < cfg.clients_per_round:
+            events.append(
+                f"under-provisioned round: selected {len(participants)} of "
+                f"{cfg.clients_per_round} requested clients"
+            )
+        counters = self.strategy.scheduler_counters()
+        evicted = int(counters.get("evicted", 0))
+        log.evicted_clients += evicted
         return RoundRecord(
             round_idx=round_idx,
             participants=[c.client_id for c in participants],
@@ -338,7 +408,15 @@ class Coordinator:
             bytes_up=bup,
             round_time=float(max(client_times)),
             num_models=len(models),
-            events=list(events or []),
+            events=events,
+            scheduler=SchedulerRecord(
+                selector=cfg.selector,
+                pacing=cfg.pacing,
+                straggler=cfg.straggler,
+                requested=cfg.clients_per_round,
+                selected=len(participants),
+                evicted=evicted,
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -34,6 +34,8 @@ def log_to_dict(log: TrainingLog) -> dict:
             "peak_storage_bytes": log.peak_storage_bytes,
             "dropped_updates": log.dropped_updates,
             "dropped_macs": log.dropped_macs,
+            "downsized_updates": log.downsized_updates,
+            "evicted_clients": log.evicted_clients,
         },
         "rounds": [
             {
@@ -45,6 +47,27 @@ def log_to_dict(log: TrainingLog) -> dict:
                 "round_time": r.round_time,
                 "num_models": r.num_models,
                 "events": list(r.events),
+                # Scheduling-subsystem decisions (PR 4); None on records
+                # written before the subsystem existed.
+                **(
+                    {
+                        "scheduler": {
+                            "selector": r.scheduler.selector,
+                            "pacing": r.scheduler.pacing,
+                            "straggler": r.scheduler.straggler,
+                            "requested": r.scheduler.requested,
+                            "selected": r.scheduler.selected,
+                            "effective_buffer_k": r.scheduler.effective_buffer_k,
+                            "deadline_s": r.scheduler.deadline_s,
+                            "deadline_quantiles": list(r.scheduler.deadline_quantiles),
+                            "downsized": r.scheduler.downsized,
+                            "dropped": r.scheduler.dropped,
+                            "evicted": r.scheduler.evicted,
+                        }
+                    }
+                    if r.scheduler is not None
+                    else {}
+                ),
                 # Async engine only; sync rounds have no arrival stream.
                 **(
                     {
@@ -57,6 +80,7 @@ def log_to_dict(log: TrainingLog) -> dict:
                                 "finish_time": a.finish_time,
                                 "staleness": a.staleness,
                                 "dropped": a.dropped,
+                                "downsized": a.downsized,
                             }
                             for a in r.arrivals
                         ]

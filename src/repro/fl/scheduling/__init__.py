@@ -1,0 +1,112 @@
+"""Pluggable scheduling subsystem: selection, pacing, straggler policies.
+
+Three policy seams (see :mod:`~repro.fl.scheduling.base`) plus the sparse
+:class:`~repro.fl.scheduling.store.ClientStateStore` that keeps per-client
+utility state proportional to the *active* fleet.  Policies are resolved
+by name through the ``make_*`` factories below, which is what
+``CoordinatorConfig.selector`` / ``pacing`` / ``straggler`` and the
+matching CLI flags feed.
+"""
+
+from __future__ import annotations
+
+from ..types import FLClient
+from .base import ClientSelector, PacingPolicy, StragglerPolicy, estimate_round_time
+from .pacing import AdaptivePacing, QuantilePacing, StaticPacing
+from .selectors import (
+    AvailabilityAwareSelector,
+    OortSelector,
+    UniformSelector,
+    uniform_choice,
+)
+from .store import ClientStateStore
+from .straggler import DownsizePolicy, DropPolicy
+
+__all__ = [
+    "ClientSelector",
+    "PacingPolicy",
+    "StragglerPolicy",
+    "estimate_round_time",
+    "UniformSelector",
+    "AvailabilityAwareSelector",
+    "OortSelector",
+    "uniform_choice",
+    "StaticPacing",
+    "AdaptivePacing",
+    "QuantilePacing",
+    "DropPolicy",
+    "DownsizePolicy",
+    "ClientStateStore",
+    "SELECTOR_POLICIES",
+    "PACING_POLICIES",
+    "STRAGGLER_POLICIES",
+    "make_selector",
+    "make_pacing",
+    "make_straggler",
+]
+
+SELECTOR_POLICIES = ("uniform", "availability", "oort")
+PACING_POLICIES = ("static", "adaptive", "quantile")
+STRAGGLER_POLICIES = ("drop", "downsize")
+
+_SELECTORS = {
+    "uniform": UniformSelector,
+    "availability": AvailabilityAwareSelector,
+    "oort": OortSelector,
+}
+_PACING = {
+    "static": StaticPacing,
+    "adaptive": AdaptivePacing,
+    "quantile": QuantilePacing,
+}
+_STRAGGLERS = {
+    "drop": DropPolicy,
+    "downsize": DownsizePolicy,
+}
+
+
+def make_selector(name: str, seed: int = 0) -> ClientSelector:
+    """Instantiate a client selector by policy name."""
+    try:
+        cls = _SELECTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown selector {name!r}; choose from {SELECTOR_POLICIES}"
+        ) from None
+    return cls(seed=seed)
+
+
+def make_pacing(
+    name: str,
+    base_k: int,
+    deadline_s: float | None,
+    max_k: int,
+    clients: list[FLClient] | None = None,
+) -> PacingPolicy:
+    """Instantiate a pacing policy by name.
+
+    ``base_k`` is the resolved static buffer size (config or its
+    clients_per_round-derived default), ``max_k`` the in-flight concurrency
+    (the adaptive buffer never outgrows what can arrive), and ``clients``
+    the fleet (quantile pacing derives its device classes from it).
+    """
+    try:
+        cls = _PACING[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown pacing policy {name!r}; choose from {PACING_POLICIES}"
+        ) from None
+    if cls is QuantilePacing:
+        return cls(base_k, deadline_s, max_k, clients=clients)
+    return cls(base_k, deadline_s, max_k)
+
+
+def make_straggler(name: str) -> StragglerPolicy:
+    """Instantiate a straggler policy by name."""
+    try:
+        cls = _STRAGGLERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown straggler policy {name!r}; choose from {STRAGGLER_POLICIES}"
+        ) from None
+    return cls()

@@ -1,0 +1,181 @@
+"""Pacing policies: aggregation buffer size and per-client deadlines.
+
+``static`` reproduces the pre-subsystem behavior exactly (constant
+``buffer_k``, one global ``deadline_s``).  ``adaptive`` rescales the
+buffer with the observed arrival rate, so the simulated time *per
+aggregation step* stays near what the configured ``buffer_k`` cost when
+the run began — a fleet that speeds up (stragglers dropped or downsized,
+faster devices joining) buffers more per step instead of aggregating in a
+frenzy, and a slowing fleet aggregates smaller batches instead of
+stalling.  ``quantile`` replaces the single global deadline with
+per-device-class deadlines estimated from each class's *own* completed
+round times: slow devices get deadlines calibrated to slow-device
+durations, so a class is trimmed of its outliers rather than condemned
+wholesale by a deadline sized for fast hardware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..types import FLClient
+from .base import PacingPolicy
+
+__all__ = ["StaticPacing", "AdaptivePacing", "QuantilePacing"]
+
+
+class StaticPacing(PacingPolicy):
+    """Constant ``buffer_k``, one global deadline — the default."""
+
+    name = "static"
+
+    def __init__(self, base_k: int, deadline_s: float | None, max_k: int):
+        del max_k
+        self.base_k = base_k
+        self.deadline_s = deadline_s
+
+    def buffer_k(self, step_idx: int) -> int:
+        return self.base_k
+
+    def deadline_for(self, client: FLClient) -> float | None:
+        return self.deadline_s
+
+
+class AdaptivePacing(PacingPolicy):
+    """``buffer_k`` scaled by the observed (kept-)arrival rate.
+
+    The first aggregation step runs at the configured ``base_k`` and
+    calibrates a target step span ``base_k / rate_0``.  From then on
+    ``buffer_k = clamp(round(rate_t * target_span), 1, max_k)`` where
+    ``rate_t`` is an exponentially smoothed arrivals-per-simulated-second —
+    i.e. the buffer grows exactly as fast as arrivals do.  Rates are
+    measured from kept arrivals only (drops never fill the buffer).  All
+    inputs are simulated-clock quantities, so the adaptation is as
+    deterministic as the clock itself.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        base_k: int,
+        deadline_s: float | None,
+        max_k: int,
+        momentum: float = 0.3,
+    ):
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must lie in (0, 1]")
+        self.base_k = base_k
+        self.deadline_s = deadline_s
+        self.max_k = max(max_k, base_k)
+        self.momentum = momentum
+        self._rate: float | None = None  # EMA arrivals / simulated second
+        self._target_span: float | None = None  # calibrated on first step
+        self._last_arrival: float | None = None
+
+    def buffer_k(self, step_idx: int) -> int:
+        if self._rate is None or self._rate <= 0.0:
+            return self.base_k
+        if self._target_span is None:
+            self._target_span = self.base_k / self._rate
+        k = int(round(self._rate * self._target_span))
+        return max(1, min(k, self.max_k))
+
+    def deadline_for(self, client: FLClient) -> float | None:
+        return self.deadline_s
+
+    def observe_arrival(self, client_id, duration, now, dropped):
+        if dropped:
+            return
+        if self._last_arrival is not None:
+            gap = now - self._last_arrival
+            if gap > 0.0:
+                rate = 1.0 / gap
+                m = self.momentum
+                self._rate = rate if self._rate is None else (1 - m) * self._rate + m * rate
+        self._last_arrival = now
+
+
+class QuantilePacing(PacingPolicy):
+    """Per-device-class deadline quantiles from completed round times.
+
+    The fleet is split into ``num_classes`` equal-occupancy classes by
+    device compute speed at construction (class membership never changes —
+    it is hardware, not history).  Each class keeps a sliding window of
+    the last ``window`` true durations of its completed work items; once a
+    class has seen ``min_samples`` of them, its deadline becomes
+    ``quantile(window, q) * slack`` and is re-estimated every arrival —
+    the bounded window keeps the per-arrival cost O(window) and lets the
+    estimate track the suite as models grow, instead of averaging over a
+    run's whole stale history.  Until then the class falls back to the
+    global ``deadline_s`` (which may be ``None`` — no deadline while the
+    evidence is thin, rather than a guess).  ``buffer_k`` stays static;
+    combine with :class:`AdaptivePacing` ideas in a custom policy if both
+    are wanted.
+    """
+
+    name = "quantile"
+
+    def __init__(
+        self,
+        base_k: int,
+        deadline_s: float | None,
+        max_k: int,
+        clients: list[FLClient] | None = None,
+        num_classes: int = 4,
+        q: float = 0.9,
+        slack: float = 1.5,
+        min_samples: int = 8,
+        window: int = 256,
+    ):
+        del max_k
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must lie in (0, 1]")
+        if slack < 1.0:
+            raise ValueError("slack must be >= 1 (a sub-1 slack drops the quantile itself)")
+        if min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        if window < min_samples:
+            raise ValueError("window must be >= min_samples")
+        self.base_k = base_k
+        self.deadline_s = deadline_s
+        self.q = q
+        self.slack = slack
+        self.min_samples = min_samples
+        self.window = window
+        clients = clients or []
+        num_classes = max(1, min(num_classes, len(clients) or 1))
+        self.num_classes = num_classes
+        # Equal-occupancy speed classes: rank by compute speed, cut into
+        # num_classes contiguous groups.  Deterministic in the fleet.
+        speeds = {c.client_id: c.device.compute_speed for c in clients}
+        order = sorted(speeds, key=lambda cid: (speeds[cid], cid))
+        self._class_of: dict[int, int] = {
+            cid: min(i * num_classes // max(1, len(order)), num_classes - 1)
+            for i, cid in enumerate(order)
+        }
+        self._durations: list[deque[float]] = [
+            deque(maxlen=window) for _ in range(num_classes)
+        ]
+        self._deadline: list[float | None] = [deadline_s] * num_classes
+
+    def buffer_k(self, step_idx: int) -> int:
+        return self.base_k
+
+    def class_of(self, client_id: int) -> int:
+        return self._class_of.get(client_id, 0)
+
+    def deadline_for(self, client: FLClient) -> float | None:
+        return self._deadline[self.class_of(client.client_id)]
+
+    def observe_arrival(self, client_id, duration, now, dropped):
+        cls = self.class_of(client_id)
+        samples = self._durations[cls]
+        samples.append(float(duration))  # deque: oldest beyond `window` falls off
+        if len(samples) >= self.min_samples:
+            self._deadline[cls] = float(np.quantile(list(samples), self.q)) * self.slack
+
+    def deadline_quantiles(self) -> tuple[float, ...]:
+        return tuple(d for d in self._deadline if d is not None)

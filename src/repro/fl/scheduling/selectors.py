@@ -1,0 +1,173 @@
+"""Client selection policies: uniform, availability-aware, utility-skewed.
+
+``uniform`` reproduces the pre-subsystem ``select_uniform`` bit-for-bit
+(same ``rng.choice`` call on the coordinator RNG).  ``availability``
+models intermittent edge clients — each ``(round, client)`` pair flips a
+deterministic seeded coin, and selection draws uniformly from the clients
+that are online.  ``oort`` skews selection toward high-recent-loss clients
+(the statistical-utility half of Oort, Lai et al. OSDI'21): clients whose
+data the current models fit worst are the most informative to train next,
+and never-tried clients enter at the current maximum utility so
+exploration never starves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..types import ClientUpdate, FLClient
+from .base import ClientSelector
+
+__all__ = [
+    "UniformSelector",
+    "AvailabilityAwareSelector",
+    "OortSelector",
+    "uniform_choice",
+]
+
+# Salt separating availability draws from every other seeded stream in
+# the run (executors derive theirs from SeedSequence spawn keys).
+_AVAIL_SALT = np.uint64(0xA11A_5EED_0B5E_11AB)
+_U64 = np.uint64
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    x = x + _U64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> _U64(27))) * _U64(0x94D049BB133111EB)
+    return x ^ (x >> _U64(31))
+
+
+def uniform_choice(
+    clients: list[FLClient], num: int, rng: np.random.Generator
+) -> list[FLClient]:
+    """Uniform selection without replacement (Algorithm 1's Select).
+
+    Clamps ``num`` to the pool size (the caller records under-provisioning)
+    but rejects ``num < 1`` — a silently empty round is a configuration
+    error, not a schedule.
+    """
+    if not clients:
+        raise ValueError("no registered clients")
+    if num < 1:
+        raise ValueError(f"cannot select {num} clients; num must be >= 1")
+    num = min(num, len(clients))
+    idx = rng.choice(len(clients), size=num, replace=False)
+    return [clients[i] for i in idx]
+
+
+class UniformSelector(ClientSelector):
+    """The default: uniform without replacement, on the coordinator RNG."""
+
+    name = "uniform"
+
+    def __init__(self, seed: int = 0):
+        del seed  # uniform consumes the coordinator RNG; no private stream
+
+    def select(self, round_idx, clients, num, rng):
+        return uniform_choice(clients, num, rng)
+
+
+class AvailabilityAwareSelector(ClientSelector):
+    """Uniform selection restricted to the clients online this round.
+
+    Availability is a per-``(round, client)`` Bernoulli draw from a
+    counter-based SplitMix64 hash of ``(seed, round, client_id)`` — a
+    deterministic function of the run seed that is independent of pool
+    order or in-flight composition, so the same client is online in the
+    same rounds across backends and repeat runs.  Counter-based (rather
+    than one ``SeedSequence``-derived generator per client per wave)
+    because a dispatch wave asks about every client in the pool: the whole
+    mask is one vectorized hash over the ids, not ``O(pool)`` generator
+    constructions.  When fewer than ``num`` clients are online the whole
+    online pool is taken, and the engine's round record surfaces the
+    shortfall.
+    """
+
+    name = "availability"
+
+    def __init__(self, seed: int = 0, availability: float = 0.8):
+        if not 0.0 < availability <= 1.0:
+            raise ValueError("availability must lie in (0, 1]")
+        self.seed = seed
+        self.availability = availability
+
+    def _online_mask(self, round_idx: int, client_ids: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore"):  # wrapping uint64 arithmetic is the point
+            base = _splitmix64(
+                np.asarray([self.seed], dtype=np.uint64) ^ _AVAIL_SALT
+            ) ^ _splitmix64(np.asarray([round_idx], dtype=np.uint64))
+            draws = _splitmix64(client_ids.astype(np.uint64) ^ base)
+        # Top 53 bits -> uniform double in [0, 1).
+        return (draws >> _U64(11)) / float(1 << 53) < self.availability
+
+    def is_online(self, round_idx: int, client_id: int) -> bool:
+        return bool(self._online_mask(round_idx, np.asarray([client_id]))[0])
+
+    def select(self, round_idx, clients, num, rng):
+        if num < 1:
+            raise ValueError(f"cannot select {num} clients; num must be >= 1")
+        ids = np.asarray([c.client_id for c in clients])
+        mask = self._online_mask(round_idx, ids)
+        online = [c for c, m in zip(clients, mask) if m]
+        if not online:
+            # A fully offline round would stall the engine; fall back to
+            # the offline pool rather than deadlock (surfaced as an
+            # under-provisioned round when even that pool is short).
+            online = clients
+        return uniform_choice(online, min(num, len(online)), rng)
+
+
+class OortSelector(ClientSelector):
+    """Utility-skewed selection (Oort's statistical utility, simplified).
+
+    Keeps an exponential moving average of each client's training loss;
+    selection samples without replacement with probability proportional to
+    ``(floor + utility) ** alpha``.  Unseen clients enter at the running
+    maximum utility (optimistic initialization), which is what keeps the
+    policy exploring the long tail instead of re-picking early winners.
+    The full Oort also divides by observed system speed; our simulated
+    fleets express slowness through the pacing/straggler policies instead,
+    so this selector stays purely statistical.
+    """
+
+    name = "oort"
+
+    def __init__(self, seed: int = 0, alpha: float = 2.0, momentum: float = 0.5):
+        del seed  # samples on the coordinator RNG, like uniform
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must lie in (0, 1]")
+        self.alpha = alpha
+        self.momentum = momentum
+        self._utility: dict[int, float] = {}
+
+    def _weights(self, clients: list[FLClient]) -> np.ndarray:
+        default = max(self._utility.values()) if self._utility else 1.0
+        u = np.array([self._utility.get(c.client_id, default) for c in clients])
+        # Floor keeps every probability positive (sampling without
+        # replacement needs full support even for converged clients).
+        w = (1e-6 + np.maximum(u, 0.0)) ** self.alpha
+        return w / w.sum()
+
+    def select(self, round_idx, clients, num, rng):
+        if not clients:
+            raise ValueError("no registered clients")
+        if num < 1:
+            raise ValueError(f"cannot select {num} clients; num must be >= 1")
+        num = min(num, len(clients))
+        idx = rng.choice(len(clients), size=num, replace=False, p=self._weights(clients))
+        return [clients[i] for i in idx]
+
+    def observe_round(self, round_idx: int, updates: Iterable[ClientUpdate]) -> None:
+        m = self.momentum
+        for u in updates:
+            prev = self._utility.get(u.client_id)
+            loss = float(u.train_loss)
+            self._utility[u.client_id] = (
+                loss if prev is None else (1.0 - m) * prev + m * loss
+            )

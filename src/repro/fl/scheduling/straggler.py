@@ -1,0 +1,71 @@
+"""Straggler policies: drop (the default) or FedTrans-aware downsizing.
+
+``drop`` leaves the assignment alone; an arrival past its deadline is
+discarded by the engine with its wasted compute metered — exactly the
+pre-subsystem behavior.  ``downsize`` exploits what a multi-model suite
+makes possible: a client whose *predicted* round time busts the deadline
+is re-assigned the largest compatible **smaller** model whose estimate
+fits, so the slot produces a usable (cheaper) update instead of a metered
+drop.  The prediction uses the same latency arithmetic the trainer
+realizes (:func:`~repro.fl.scheduling.base.estimate_round_time`, memoized
+``macs()``/``nbytes()``), so a downsized dispatch is never dropped by the
+clock it was sized against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ...nn.model import CellModel
+from ..client import LocalTrainerConfig
+from ..types import FLClient
+from .base import StragglerPolicy, estimate_round_time
+
+__all__ = ["DropPolicy", "DownsizePolicy"]
+
+
+class DropPolicy(StragglerPolicy):
+    """Never rewrites assignments; late arrivals drop at the deadline."""
+
+    name = "drop"
+
+    def resolve(self, client, model_ids, deadline, models, trainer, compatible_fn):
+        return model_ids, False
+
+
+class DownsizePolicy(StragglerPolicy):
+    """Swap a predicted-late client onto its largest deadline-fitting model.
+
+    Only single-model assignments are rewritten (multi-model dispatches —
+    SplitMix's base-net bundles — are structural, not a size choice) and
+    only when a *strictly smaller* compatible model fits the deadline;
+    otherwise the assignment stands and the ordinary drop path applies.
+    Candidate ranking is by memoized ``macs()`` with the model id as a
+    deterministic tie-break.
+    """
+
+    name = "downsize"
+
+    def resolve(
+        self,
+        client: FLClient,
+        model_ids: list[str],
+        deadline: float | None,
+        models: Mapping[str, CellModel],
+        trainer: LocalTrainerConfig,
+        compatible_fn: Callable[[FLClient], list[str]],
+    ) -> tuple[list[str], bool]:
+        if deadline is None or len(model_ids) != 1:
+            return model_ids, False
+        assigned = models[model_ids[0]]
+        if estimate_round_time(client, assigned, trainer) <= deadline:
+            return model_ids, False
+        fitting = [
+            (models[mid].macs(), mid)
+            for mid in compatible_fn(client)
+            if models[mid].macs() < assigned.macs()
+            and estimate_round_time(client, models[mid], trainer) <= deadline
+        ]
+        if not fitting:
+            return model_ids, False
+        return [max(fitting)[1]], True

@@ -1,9 +1,19 @@
-"""Client selection policies."""
+"""Client selection policies (deprecated shim).
+
+Selection moved into the scheduling subsystem
+(:mod:`repro.fl.scheduling`): pick a policy with
+``CoordinatorConfig.selector`` / ``--selector``, or call
+:func:`repro.fl.scheduling.uniform_choice` directly.  This module remains
+so pre-subsystem imports keep working.
+"""
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
+from .scheduling.selectors import uniform_choice
 from .types import FLClient
 
 __all__ = ["select_uniform"]
@@ -12,9 +22,11 @@ __all__ = ["select_uniform"]
 def select_uniform(
     clients: list[FLClient], num: int, rng: np.random.Generator
 ) -> list[FLClient]:
-    """Uniform random selection without replacement (Algorithm 1's Select)."""
-    if not clients:
-        raise ValueError("no registered clients")
-    num = min(num, len(clients))
-    idx = rng.choice(len(clients), size=num, replace=False)
-    return [clients[i] for i in idx]
+    """Deprecated alias of :func:`repro.fl.scheduling.uniform_choice`."""
+    warnings.warn(
+        "select_uniform is deprecated; use repro.fl.scheduling.uniform_choice "
+        "or CoordinatorConfig.selector='uniform'",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return uniform_choice(clients, num, rng)

@@ -32,7 +32,25 @@ import numpy as np
 from ..nn.model import CellModel
 from .types import ClientUpdate, FLClient
 
-__all__ = ["Strategy"]
+__all__ = ["Strategy", "compatible_model_ids"]
+
+
+def compatible_model_ids(
+    models: dict[str, CellModel], capacity_macs: float
+) -> list[str]:
+    """Model ids whose complexity fits a budget (``MAC(M) <= T_c``).
+
+    Falls back to the single cheapest model when the budget is below every
+    model — the paper guarantees this cannot happen by construction
+    (initial model == weakest client), but bench configs may be looser.
+    The single definition of the fit rule: :meth:`Strategy.compatible_models`
+    and FedTrans's Eq. 4 compatible-set restriction both delegate here, so
+    assignment and utility learning can never disagree about what fits.
+    """
+    fits = [mid for mid, m in models.items() if m.macs() <= capacity_macs]
+    if not fits:
+        fits = [min(models, key=lambda mid: models[mid].macs())]
+    return fits
 
 
 class Strategy(ABC):
@@ -154,17 +172,22 @@ class Strategy(ABC):
     def compatible_models(self, client: FLClient) -> list[str]:
         """Model ids whose complexity fits the client's budget (MAC(M) <= T_c).
 
-        Falls back to the single cheapest model when a client is too weak
-        for every model — the paper guarantees this cannot happen by
-        construction (initial model == weakest client), but bench configs
-        may be looser.
+        Delegates to :func:`compatible_model_ids` (shared with the
+        coordinator-side consumers of stored capacities) — see there for
+        the too-weak-client fallback.
         """
-        models = self.models()
-        fits = [mid for mid, m in models.items() if m.macs() <= client.capacity_macs]
-        if not fits:
-            fits = [min(models, key=lambda mid: models[mid].macs())]
-        return fits
+        return compatible_model_ids(self.models(), client.capacity_macs)
 
     def storage_bytes(self) -> int:
         """Server-side storage footprint of the whole model suite."""
         return sum(m.nbytes() for m in self.models().values())
+
+    def scheduler_counters(self) -> dict[str, int]:
+        """Per-round scheduling counters the strategy wants metered.
+
+        Consumed (and reset) by the coordinator after each aggregation;
+        recognized keys land on :class:`~repro.fl.types.SchedulerRecord`
+        (currently ``"evicted"`` — sparse utility-store evictions).  The
+        default strategy has no scheduler-owned state to report.
+        """
+        return {}

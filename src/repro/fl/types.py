@@ -14,6 +14,7 @@ __all__ = [
     "FLClient",
     "ClientUpdate",
     "ArrivalRecord",
+    "SchedulerRecord",
     "RoundRecord",
     "EvalRecord",
     "TrainingLog",
@@ -65,7 +66,9 @@ class ArrivalRecord:
     bit-reproducible.  ``staleness`` counts server aggregation steps between
     this work's dispatch and its arrival; ``dropped`` marks an arrival the
     deadline straggler policy discarded (its compute/download cost is still
-    metered, its upload never lands).
+    metered, its upload never lands); ``downsized`` marks a dispatch the
+    straggler policy re-assigned to a smaller compatible model before
+    training (``model_ids`` already names the substitute).
     """
 
     dispatch_seq: int
@@ -75,6 +78,34 @@ class ArrivalRecord:
     finish_time: float
     staleness: int
     dropped: bool
+    downsized: bool = False
+
+
+@dataclass(frozen=True)
+class SchedulerRecord:
+    """What the scheduling subsystem decided for one round/aggregation step.
+
+    ``requested``/``selected`` meter participation supply (``selected <
+    requested`` is an under-provisioned round — the fleet or the selector's
+    available pool was short).  The async-only fields record the *effective*
+    pacing decisions: the ``buffer_k`` this step aggregated on, the global
+    deadline (``None`` when disabled), the per-device-class deadline
+    quantiles currently active (quantile pacing), and how many dispatches
+    the straggler policy downsized.  ``evicted`` counts clients the sparse
+    utility store let go this round.
+    """
+
+    selector: str
+    pacing: str
+    straggler: str
+    requested: int
+    selected: int
+    effective_buffer_k: int | None = None
+    deadline_s: float | None = None
+    deadline_quantiles: tuple[float, ...] = ()
+    downsized: int = 0
+    dropped: int = 0
+    evicted: int = 0
 
 
 @dataclass
@@ -101,6 +132,9 @@ class RoundRecord:
     num_models: int
     events: list[str] = field(default_factory=list)
     arrivals: list[ArrivalRecord] = field(default_factory=list)
+    # Scheduling-subsystem metrics (selector/pacing/straggler decisions);
+    # populated by both engines since PR 4.
+    scheduler: SchedulerRecord | None = None
 
 
 @dataclass
@@ -143,6 +177,10 @@ class TrainingLog:
     # the compute either way); these fields meter how much of it was wasted.
     dropped_updates: int = 0
     dropped_macs: float = 0.0
+    # Scheduling subsystem: dispatches the straggler policy re-assigned to a
+    # smaller compatible model, and clients the sparse utility store evicted.
+    downsized_updates: int = 0
+    evicted_clients: int = 0
 
     # ---- headline metrics -------------------------------------------------
     def final_eval(self) -> EvalRecord:

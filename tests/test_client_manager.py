@@ -206,6 +206,62 @@ class TestEq4Update:
         with pytest.raises(ValueError, match="utility_clamp"):
             ClientManager(utility_clamp=-1.0)
 
+    def test_compatible_restriction_skips_out_of_budget_models(self, rng):
+        """Regression: the Eq. 4 walk visited *every* model per update, so a
+        weak client paid (and stored) utility updates for models it could
+        never train or deploy.  With the compatible map, only the client's
+        own set is touched."""
+        models, parent, child = self._models(rng)
+        cm = ClientManager()
+        compatible = {0: {parent.model_id}, 1: {parent.model_id, child.model_id}}
+        ups = [
+            _update(0, parent.model_id, loss=0.1),
+            _update(1, parent.model_id, loss=2.0),
+        ]
+        cm.update(ups, models, compatible)
+        # Client 0 (weak) holds no entry for the incompatible child...
+        assert child.model_id not in cm._utilities[0]
+        # ...but its compatible utilities match the unrestricted walk
+        # (restriction only skips writes that could never be read).
+        unrestricted = ClientManager()
+        unrestricted.update(ups, models)
+        assert cm.utility(0, parent.model_id) == unrestricted.utility(0, parent.model_id)
+        assert cm.utility(1, child.model_id) == unrestricted.utility(1, child.model_id)
+
+    def test_compatible_restriction_saves_similarity_lookups(self, rng):
+        """The cost half of the regression: restricted updates don't even
+        consult the similarity cache for out-of-budget models."""
+        models, parent, child = self._models(rng)
+
+        class CountingCache(SimilarityCache):
+            def __init__(self):
+                super().__init__()
+                self.calls = 0
+
+            def get(self, src, dst):
+                self.calls += 1
+                return super().get(src, dst)
+
+        cache = CountingCache()
+        cm = ClientManager(cache)
+        ups = [
+            _update(0, parent.model_id, loss=0.1),
+            _update(1, parent.model_id, loss=2.0),
+        ]
+        cm.update(ups, models, {0: {parent.model_id}, 1: {parent.model_id}})
+        assert cache.calls == 2  # one per (update, compatible model)
+
+    def test_missing_compatible_entry_falls_back_to_all_models(self, rng):
+        models, parent, child = self._models(rng)
+        cm = ClientManager()
+        ups = [
+            _update(0, parent.model_id, loss=0.1),
+            _update(1, parent.model_id, loss=2.0),
+        ]
+        cm.update(ups, models, {1: {parent.model_id}})  # no entry for client 0
+        assert child.model_id in cm._utilities[0]  # legacy full walk
+        assert child.model_id not in cm._utilities[1]
+
     def test_assignment_shifts_after_updates(self, rng):
         """Soft assignment: persistent bad loss on a model steers the client
         elsewhere (the exploration/exploitation behaviour of §4.2)."""

@@ -435,6 +435,9 @@ class TestConfigValidation:
             deadline = None
             staleness_discount = None
             eval_cache = False
+            selector = "uniform"
+            pacing = "static"
+            straggler = "drop"
 
         assert _coordinator_overrides(Args()) == {"eval_cache": False}
         Args.eval_cache = True

@@ -122,6 +122,18 @@ class TestSelection:
         with pytest.raises(ValueError):
             select_uniform([], 3, rng)
 
+    def test_below_one_raises(self, rng):
+        """Regression: num < 1 used to return an empty round silently."""
+        ds = _dataset(num_clients=5)
+        for bad in (0, -2):
+            with pytest.raises(ValueError, match="must be >= 1"):
+                select_uniform(_clients(ds), bad, rng)
+
+    def test_shim_warns_deprecated(self, rng):
+        ds = _dataset(num_clients=5)
+        with pytest.deprecated_call():
+            select_uniform(_clients(ds), 2, rng)
+
 
 class TestCoordinator:
     def _run(self, rounds=20, **cfg_over):
