@@ -1,0 +1,217 @@
+"""Hot-path compute pass, measured: dtype speedup, allocations, round loop.
+
+Three measurements, written together to ``BENCH_hotpath.json`` at the repo
+root (the start of the repo's perf trajectory — later PRs append
+comparable numbers):
+
+* **dtype** — wall time per simulated round of the same conv workload at
+  float64 (the bit-identity default) vs float32: the float32 round loop
+  must be >= ``HOTPATH_MIN_SPEEDUP`` (default 1.5) times faster.
+* **allocations** — transient heap bytes per steady-state training step
+  (tracemalloc, which tracks NumPy buffers) with workspace pooling off vs
+  on: pooling must cut allocations >= ``HOTPATH_MIN_ALLOC_RATIO``
+  (default 5) times.  This is the pooled-kernel regression gate CI runs.
+* **matrix** — wall time per round and process peak RSS across
+  serial/thread/process x sync/async at the default dtype.
+
+Budget knobs (CI uses small values): ``HOTPATH_ROUNDS`` (default 3),
+``HOTPATH_CLIENTS`` (8), ``HOTPATH_STEPS`` (10).  Peak RSS is
+``ru_maxrss`` — the *process-lifetime* high-water mark, so within one
+bench process it is monotone across configurations; the per-config
+reading is still recorded as an upper bound at that point of the run.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import resource
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import fedavg
+from repro.data import SyntheticTaskConfig, build_federated_dataset
+from repro.device.traces import DeviceTrace
+from repro.fl import Coordinator, CoordinatorConfig, FLClient, LocalTrainerConfig
+from repro.nn import SGD, set_compute_dtype, set_workspace_pooling, small_cnn
+
+ROUNDS = int(os.environ.get("HOTPATH_ROUNDS", "3"))
+CLIENTS = int(os.environ.get("HOTPATH_CLIENTS", "8"))
+LOCAL_STEPS = int(os.environ.get("HOTPATH_STEPS", "10"))
+MIN_SPEEDUP = float(os.environ.get("HOTPATH_MIN_SPEEDUP", "1.5"))
+MIN_ALLOC_RATIO = float(os.environ.get("HOTPATH_MIN_ALLOC_RATIO", "5"))
+
+OUT_PATH = Path(
+    os.environ.get("HOTPATH_OUT", Path(__file__).parent.parent / "BENCH_hotpath.json")
+)
+
+WORKLOAD = {
+    "model": "small_cnn(width=16)",
+    "input_shape": [3, 16, 16],
+    "num_classes": 8,
+    "clients": CLIENTS,
+    "clients_per_round": 6,
+    "batch_size": 32,
+    "local_steps": LOCAL_STEPS,
+    "rounds": ROUNDS,
+}
+
+_RESULTS: dict = {"workload": WORKLOAD}
+
+
+def _rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _run_round_loop(dtype: str, mode: str = "sync", executor: str = "serial") -> float:
+    """Seconds per round of the conv fedavg workload under one config."""
+    set_compute_dtype(dtype)
+    try:
+        task = SyntheticTaskConfig(
+            num_classes=8, input_shape=(3, 16, 16), latent_dim=8, teacher_width=16, seed=0
+        )
+        ds = build_federated_dataset(task, CLIENTS, mean_samples=60, seed=0)
+        clients = [
+            FLClient(c.client_id, c, DeviceTrace(c.client_id, 1e9, 1e6, 1e15))
+            for c in ds.clients
+        ]
+        model = small_cnn(ds.input_shape, ds.num_classes, np.random.default_rng(0), width=16)
+        over = {} if executor == "serial" else {"executor": executor, "max_workers": 2}
+        if mode == "async":
+            over["buffer_k"] = 3
+        cfg = CoordinatorConfig(
+            rounds=ROUNDS,
+            clients_per_round=6,
+            trainer=LocalTrainerConfig(batch_size=32, local_steps=LOCAL_STEPS, lr=0.05),
+            eval_every=ROUNDS,
+            seed=0,
+            mode=mode,
+            compute_dtype=dtype,
+            **over,
+        )
+        coord = Coordinator(fedavg(model.clone(keep_id=True)), clients, cfg)
+        start = time.perf_counter()
+        log = coord.run()
+        elapsed = time.perf_counter() - start
+        assert log.rounds and np.isfinite(log.evals[-1].mean_accuracy)
+        return elapsed / len(log.rounds)
+    finally:
+        set_compute_dtype("float64")
+
+
+def _step_alloc_bytes(pooling: bool, steps: int = 5) -> float:
+    """Transient traced bytes per steady-state training step (see tests)."""
+    set_workspace_pooling(pooling)
+    try:
+        rng = np.random.default_rng(3)
+        model = small_cnn((3, 16, 16), 8, np.random.default_rng(0), width=16)
+        opt = SGD(0.05)
+        x = rng.normal(size=(32, 3, 16, 16))
+        y = rng.integers(0, 8, size=32)
+
+        def one_step():
+            model.zero_grad()
+            model.loss_and_grad(x, y)
+            grads = model.grads()
+            gnorm = float(np.sqrt(sum(float((g**2).sum()) for g in grads.values())))
+            if gnorm > 10.0:
+                for g in grads.values():
+                    g *= 10.0 / gnorm
+            opt.step(model.params(), grads)
+
+        gc.collect()
+        tracemalloc.start()
+        try:
+            for _ in range(3):
+                one_step()
+            gc.collect()
+            samples = []
+            for _ in range(steps):
+                base = tracemalloc.get_traced_memory()[0]
+                tracemalloc.reset_peak()
+                one_step()
+                samples.append(tracemalloc.get_traced_memory()[1] - base)
+        finally:
+            tracemalloc.stop()
+        return float(np.mean(samples))
+    finally:
+        set_workspace_pooling(True)
+
+
+def _write_results() -> None:
+    with open(OUT_PATH, "w") as f:
+        json.dump(_RESULTS, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+
+def test_float32_round_loop_speedup(report):
+    """float32 halves memory traffic / BLAS width: >= 1.5x faster rounds."""
+    f64 = _run_round_loop("float64")
+    f32 = _run_round_loop("float32")
+    speedup = f64 / f32
+    _RESULTS["dtype"] = {
+        "float64_s_per_round": round(f64, 4),
+        "float32_s_per_round": round(f32, 4),
+        "speedup": round(speedup, 3),
+        "min_required": MIN_SPEEDUP,
+    }
+    _write_results()
+    report(
+        "hotpath_dtype",
+        f"serial/sync conv round loop\n"
+        f"  float64: {f64:.3f} s/round\n"
+        f"  float32: {f32:.3f} s/round\n"
+        f"  speedup: {speedup:.2f}x (required >= {MIN_SPEEDUP}x)",
+    )
+    assert speedup >= MIN_SPEEDUP
+
+
+def test_pooled_kernel_allocations(report):
+    """Workspace pooling cuts steady-state step allocations >= 5x."""
+    unpooled = _step_alloc_bytes(pooling=False)
+    pooled = _step_alloc_bytes(pooling=True)
+    ratio = unpooled / pooled
+    _RESULTS["allocations"] = {
+        "unpooled_step_bytes": int(unpooled),
+        "pooled_step_bytes": int(pooled),
+        "ratio": round(ratio, 2),
+        "min_required": MIN_ALLOC_RATIO,
+    }
+    _write_results()
+    report(
+        "hotpath_allocations",
+        f"steady-state training step, conv workload (tracemalloc)\n"
+        f"  unpooled: {unpooled / 1e3:.0f} KB/step\n"
+        f"  pooled:   {pooled / 1e3:.0f} KB/step\n"
+        f"  ratio:    {ratio:.1f}x (required >= {MIN_ALLOC_RATIO}x)",
+    )
+    assert ratio >= MIN_ALLOC_RATIO
+
+
+def test_backend_mode_matrix(report):
+    """Per-round wall time + peak RSS across executors x round engines."""
+    matrix = {}
+    lines = []
+    for executor in ("serial", "thread", "process"):
+        for mode in ("sync", "async"):
+            s_per_round = _run_round_loop("float64", mode=mode, executor=executor)
+            rss = _rss_mb()
+            matrix[f"{executor}/{mode}"] = {
+                "s_per_round": round(s_per_round, 4),
+                "peak_rss_mb_upper_bound": round(rss, 1),
+            }
+            lines.append(f"  {executor:7s} {mode:5s}: {s_per_round:.3f} s/round")
+    _RESULTS["matrix"] = matrix
+    _RESULTS["peak_rss_mb"] = round(_rss_mb(), 1)
+    _write_results()
+    report(
+        "hotpath_matrix",
+        "per-round wall time, float64 conv workload\n" + "\n".join(lines)
+        + f"\n  process peak RSS: {_RESULTS['peak_rss_mb']} MB",
+    )
+    for key, row in matrix.items():
+        assert row["s_per_round"] > 0, key

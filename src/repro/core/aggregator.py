@@ -18,6 +18,28 @@ leading region of the source tensor is written over a copy of the
 destination tensor.  Because widening always places inherited channels
 first, the leading region is exactly the shared lineage.
 
+Eq. 5 hot path
+--------------
+The inner loop is vectorized around two per-pair caches, exploiting the
+same invariant :class:`~repro.core.client_manager.SimilarityCache` relies
+on (a model's architecture is immutable after birth — transformations
+clone into a new model id):
+
+* similarities are looked up once per ``(src, dst)`` pair per round, not
+  once per parameter key;
+* each ``(src, dst)`` pair caches an *overlap plan* per shared key: either
+  "same shape" (add ``w · src`` over the whole tensor) or the overlap
+  slice plus the slab decomposition of its complement (add ``w · src``
+  on the overlap, ``w · dst`` on the complement) — the exact element-wise
+  contributions ``project_overlap`` produced, without materializing a
+  destination-sized copy per (source, key);
+* accumulation lands in per-``(dst, key)`` workspace buffers reused
+  across rounds.
+
+The contribution order per element is unchanged (sources in birth order),
+so the vectorized path is bit-identical to the naive
+``num += w * project_overlap(src, dst)`` loop.
+
 Normalization deviates from Eq. 5's literal form — see DESIGN.md §2 and
 ``strict_eq5``.
 """
@@ -27,6 +49,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..fl.types import ClientUpdate
+from ..nn.compute import Workspace
 from ..nn.model import CellModel
 from ..nn.param_ops import ParamTree, tree_average
 from .client_manager import SimilarityCache
@@ -51,6 +74,34 @@ def project_overlap(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
     return out
 
 
+def _overlap_plan(
+    src_shape: tuple[int, ...], dst_shape: tuple[int, ...]
+) -> tuple | None:
+    """How ``src`` contributes to a ``dst``-shaped accumulator.
+
+    ``None`` means the shapes match (whole-tensor contribution).  Otherwise
+    returns ``(overlap, slabs)``: the leading-overlap slice (``w · src``
+    region) and the disjoint slabs covering its complement in ``dst``
+    coordinates (``w · dst`` regions).  Slab ``a`` holds the elements whose
+    first out-of-overlap axis is ``a`` — together the slabs tile the
+    complement exactly once.
+    """
+    if src_shape == dst_shape:
+        return None
+    if len(src_shape) != len(dst_shape):
+        raise ValueError(f"rank mismatch projecting {src_shape} -> {dst_shape}")
+    overlap = tuple(slice(0, min(s, d)) for s, d in zip(src_shape, dst_shape))
+    slabs = []
+    for axis, (o, d) in enumerate(zip(overlap, dst_shape)):
+        if o.stop >= d:
+            continue  # this axis is fully covered; no complement slab
+        slab = list(overlap[:axis]) + [slice(o.stop, d)] + [slice(None)] * (
+            len(dst_shape) - axis - 1
+        )
+        slabs.append(tuple(slab))
+    return overlap, tuple(slabs)
+
+
 class ModelAggregator:
     """Implements Algorithm 1's ``UpdateWeight`` step.
 
@@ -70,6 +121,12 @@ class ModelAggregator:
         self.sim_cache = sim_cache
         self.server_opt_factory = server_opt_factory
         self._server_opts: dict[str, object] = {}
+        # (src_id, dst_id) -> {key: overlap plan}; valid for the life of the
+        # pair because architectures are immutable after birth.
+        self._plans: dict[tuple[str, str], dict[str, tuple | None]] = {}
+        # Accumulator/scratch buffers reused across rounds, keyed by
+        # (dst_id, key).
+        self._ws = Workspace()
 
     # ------------------------------------------------------------------
     def aggregate(
@@ -80,6 +137,7 @@ class ModelAggregator:
         round_idx: int,
     ) -> None:
         """Run both aggregation stages, mutating the server models in place."""
+        self._prune_caches(models)
         self._within_model(models, updates)
         if self.config.soft_aggregation and len(models) > 1:
             self._across_models(models, birth_order, round_idx)
@@ -101,7 +159,11 @@ class ModelAggregator:
                 opt = self._server_opts.get(mid)
                 if opt is None:
                     opt = self._server_opts[mid] = self.server_opt_factory()
-                current = model.get_params()
+                # The pseudo-gradient reads the *live* parameter references
+                # — the server optimizer only consumes their values and
+                # returns fresh arrays, so the former full deep copy
+                # (get_params) per model per round bought nothing.
+                current = model.params()
                 pseudo_grad = {k: current[k] - avg[k] for k in current}
                 model.set_params(opt.step(current, pseudo_grad))
             states = [u.state for u in ups]
@@ -115,6 +177,34 @@ class ModelAggregator:
             return 1.0
         t = round_idx - dst.birth_round if self.config.decay_by_model_age else round_idx
         return float(self.config.eta ** max(t, 0))
+
+    def _prune_caches(self, models: dict[str, CellModel]) -> None:
+        """Drop per-model caches for models no longer in the suite.
+
+        Transformation retires models (``max_models`` cap), and without
+        eviction the per-pair plans, the per-``(dst, key)`` accumulators,
+        and the per-model server-optimizer state would grow with every
+        model ever born rather than with the live suite.
+        """
+        stale_pairs = [p for p in self._plans if p[0] not in models or p[1] not in models]
+        for p in stale_pairs:
+            del self._plans[p]
+        self._ws.prune(lambda name: name[0] in models)
+        for mid in [m for m in self._server_opts if m not in models]:
+            del self._server_opts[mid]
+
+    def _pair_plan(
+        self, src_id: str, dst_id: str, src_params: ParamTree, dst_params: ParamTree
+    ) -> dict[str, tuple | None]:
+        cached = self._plans.get((src_id, dst_id))
+        if cached is None:
+            cached = {
+                key: _overlap_plan(src_params[key].shape, val.shape)
+                for key, val in dst_params.items()
+                if key in src_params  # cell absent from the source's lineage
+            }
+            self._plans[(src_id, dst_id)] = cached
+        return cached
 
     def _across_models(
         self,
@@ -140,21 +230,50 @@ class ModelAggregator:
             if len(source_ids) == 1:
                 continue  # only itself: aggregation is the identity
             decay = self._decay_factor(round_idx, dst)
-            new_params: ParamTree = {}
             dst_params = snapshot[dst_id]
+            # Similarity, weights, and overlap plans resolved once per
+            # (src, dst) pair — not once per parameter key.
+            contribs = []
+            for src_id in source_ids:
+                sim = self.sim_cache.get(models[src_id], dst)
+                if sim <= 0.0:
+                    continue
+                w_num = sim if src_id == dst_id else decay * sim
+                w_den = sim if self.config.strict_eq5 else w_num
+                plan = self._pair_plan(src_id, dst_id, snapshot[src_id], dst_params)
+                contribs.append((src_id, w_num, w_den, plan))
+            new_params: ParamTree = {}
             for key, dst_val in dst_params.items():
-                num = np.zeros_like(dst_val)
+                num = self._ws.get((dst_id, key), dst_val.shape, dst_val.dtype)
+                num[...] = 0.0
+                scratch = self._ws.get(
+                    (dst_id, key, "scr"), dst_val.shape, dst_val.dtype
+                )
                 den = 0.0
-                for src_id in source_ids:
-                    src_params = snapshot[src_id]
-                    if key not in src_params:
+                for src_id, w_num, w_den, plan in contribs:
+                    if key not in plan:
                         continue  # cell absent from the source's lineage
-                    sim = self.sim_cache.get(models[src_id], dst)
-                    if sim <= 0.0:
-                        continue
-                    w_num = sim if src_id == dst_id else decay * sim
-                    w_den = sim if self.config.strict_eq5 else w_num
-                    num += w_num * project_overlap(src_params[key], dst_val)
+                    src_val = snapshot[src_id][key]
+                    p = plan[key]
+                    if p is None:
+                        # Same shape: num += w * src over the whole tensor.
+                        np.multiply(src_val, w_num, out=scratch)
+                        num += scratch
+                    else:
+                        # num += w * project_overlap(src, dst), region-wise:
+                        # the overlap takes src values, the complement slabs
+                        # take dst values — identical element contributions
+                        # in identical order, no dst-sized copy.
+                        overlap, slabs = p
+                        np.multiply(src_val[overlap], w_num, out=scratch[overlap])
+                        num[overlap] += scratch[overlap]
+                        for slab in slabs:
+                            np.multiply(dst_val[slab], w_num, out=scratch[slab])
+                            num[slab] += scratch[slab]
                     den += w_den
-                new_params[key] = num / den if den > 0 else dst_val
+                if den > 0:
+                    num /= den
+                    new_params[key] = num  # set_params copies immediately
+                else:
+                    new_params[key] = dst_val
             dst.set_params(new_params)

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..nn.compute import COMPUTE_DTYPES
+
 __all__ = ["FedTransConfig", "PAPER_DEFAULTS"]
 
 
@@ -67,6 +69,14 @@ class FedTransConfig:
         from the Client Manager's sparse store (memory proportional to the
         *active* fleet; an evicted client rehydrates as a fresh one).
         ``None`` (default) disables eviction — the dense legacy behavior.
+    compute_dtype:
+        Floating dtype of every tensor the strategy creates from here on
+        (transform-grown channels, re-initialized models):
+        ``"float32"`` / ``"float64"``, or ``None`` (default) to inherit
+        the process-wide setting (float64 unless the run changed it —
+        see :mod:`repro.nn.compute`).  The whole run must use one dtype:
+        the strategy applies this at construction, before any model it
+        manages is transformed.
     min_rounds_between_transforms:
         Extra cooldown after a transformation; the DoC history reset already
         enforces ``gamma + delta`` rounds, this only adds to it.
@@ -104,6 +114,7 @@ class FedTransConfig:
     utility_decay: float = 0.99
     utility_clamp: float = 5.0
     evict_after: int | None = None
+    compute_dtype: str | None = None
     gradient_cell_selection: bool = True
     soft_aggregation: bool = True
     warmup: bool = True
@@ -135,6 +146,11 @@ class FedTransConfig:
             raise ValueError("utility_clamp must be non-negative (0 disables)")
         if self.evict_after is not None and self.evict_after < 1:
             raise ValueError("evict_after must be >= 1 (None disables eviction)")
+        if self.compute_dtype is not None and self.compute_dtype not in COMPUTE_DTYPES:
+            raise ValueError(
+                f"compute_dtype must be one of {COMPUTE_DTYPES} or None "
+                f"(inherit), got {self.compute_dtype!r}"
+            )
 
     def scaled(self, **overrides) -> "FedTransConfig":
         """A copy with fields replaced (bench profiles shrink γ/δ)."""

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..nn.compute import compute_dtype
+
 __all__ = ["SyntheticTaskConfig", "SyntheticTask"]
 
 
@@ -177,6 +179,13 @@ class SyntheticTask:
             x = _smooth_images(x, cfg.input_shape)  # type: ignore[arg-type]
         else:
             x = x.reshape(total, *cfg.input_shape)
+        # Features follow the process-wide compute dtype so a float32 run
+        # stays float32 through the whole forward/backward (sampling is
+        # done in float64 and cast, keeping draws deterministic per seed
+        # across dtypes).  A float64 run is untouched.
+        dtype = compute_dtype()
+        if x.dtype != dtype:
+            x = x.astype(dtype)
         return x, y
 
     def sample_drift(self, rng: np.random.Generator) -> np.ndarray:

@@ -71,10 +71,18 @@ class LocalTrainer:
             grads = model.grads()
             params = model.params()
             if cfg.clip_norm:
-                gnorm = np.sqrt(sum(float((g**2).sum()) for g in grads.values()))
+                # float(): a Python scalar, so scaling float32 grads cannot
+                # upcast them; in-place scaling (the buffers are zeroed at
+                # the top of every step) replaces a full gradient-tree
+                # allocation per clipped step.  The norm itself must stay
+                # (g**2).sum() — pairwise summation; a BLAS dot orders the
+                # additions differently and would shift clip-triggering
+                # runs off their pre-refactor trajectories.
+                gnorm = float(np.sqrt(sum(float((g**2).sum()) for g in grads.values())))
                 if gnorm > cfg.clip_norm:
                     scale = cfg.clip_norm / gnorm
-                    grads = {k: g * scale for k, g in grads.items()}
+                    for g in grads.values():
+                        g *= scale
             if cfg.prox_mu:
                 for k in grads:
                     grads[k] = grads[k] + cfg.prox_mu * (params[k] - global_params[k])

@@ -132,6 +132,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..nn.compute import COMPUTE_DTYPES, set_compute_dtype
 from ..nn.losses import accuracy
 from .async_engine import BufferedAsyncEngine
 from .client import LocalTrainerConfig
@@ -184,6 +185,14 @@ class CoordinatorConfig:
     # docstring).  All three are bit-identical for the same seed.
     executor: str = "serial"
     max_workers: int | None = None
+    # Compute dtype of the run: "float32" | "float64" | None (inherit the
+    # process-wide setting — float64 unless changed; see repro.nn.compute).
+    # float64 is the bit-identity dtype every golden fixture is stated at;
+    # float32 halves bandwidth and roughly doubles BLAS throughput.
+    # Applied process-wide at coordinator construction and shipped to
+    # process-pool workers; models and data must be built under the same
+    # setting.
+    compute_dtype: str | None = None
     # Round engine: "sync" (barrier) or "async" (buffered-asynchronous; see
     # module docstring).  The async knobs below are rejected in sync mode so
     # a silently ignored straggler policy can't masquerade as measured.
@@ -222,6 +231,11 @@ class CoordinatorConfig:
             raise ValueError("eval_group_clients must be >= 1")
         if not isinstance(self.eval_cache, bool):
             raise ValueError(f"eval_cache must be a bool, got {self.eval_cache!r}")
+        if self.compute_dtype is not None and self.compute_dtype not in COMPUTE_DTYPES:
+            raise ValueError(
+                f"compute_dtype must be one of {COMPUTE_DTYPES} or None "
+                f"(inherit), got {self.compute_dtype!r}"
+            )
         if self.mode not in ("sync", "async"):
             raise ValueError(f"mode must be 'sync' or 'async', got {self.mode!r}")
         # Policy names validate before the mode cross-checks so a typo in a
@@ -267,6 +281,10 @@ class Coordinator:
     ):
         if not clients:
             raise ValueError("cannot run FL with zero clients")
+        # Resolve the run's compute dtype before anything hot is built
+        # (None = inherit).  The process executor reads the resolved value
+        # when its pool starts, so workers always match the coordinator.
+        set_compute_dtype(config.compute_dtype)
         self.strategy = strategy
         self.clients = clients
         self.config = config

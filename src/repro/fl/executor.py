@@ -17,22 +17,34 @@ backends ship:
   every worker loads at most once per round, so a work item carries only
   ``(model_id, client_id, seed material)`` — never a pickled model.
 
-Delta snapshot publishing
--------------------------
-The process backend publishes *deltas*: :meth:`ProcessPoolRoundExecutor.
-_publish` compares each model's :attr:`~repro.nn.model.CellModel.version`
-against the versions it last published and pickles only the changed (or
-new) models, plus the removed ids.  Workers patch their cached suite by
-replaying the delta chain from whatever snapshot version they last loaded;
-a full snapshot is rewritten every ``FULL_SNAPSHOT_EVERY`` deltas (and on
-first publish) so the chain a lagging worker must replay stays short.  A
-publish where *no* version changed reuses the current snapshot outright —
-even when the caller passes a freshly built dict.  This is what keeps the
-buffered-async engine cheap: each aggregation step touches at most
-``buffer_k`` models, so each publish ships ``buffer_k`` models, not the
-whole suite.  The contract is the model version counter: any code that
-mutates a model outside ``set_params``/``set_state``/transformations must
-call ``bump_version()`` or workers will train against stale weights.
+Shared-memory delta snapshot publishing
+---------------------------------------
+The process backend publishes *deltas* into a shared-memory arena
+(:mod:`~repro.fl.shm`): :meth:`ProcessPoolRoundExecutor._publish` compares
+each model's :attr:`~repro.nn.model.CellModel.version` against the
+versions it last published and writes only the changed (or new) models'
+tensors — raw bytes, written once, no serialization — into a fresh
+segment, plus the removed ids in the segment header.  Workers patch their
+cached suite by replaying the segment chain from whatever snapshot
+version they last loaded, mapping each model's tensors as read-only views
+into the shared buffer (a delta is ``(offset, version)`` records, not
+pickled bytes); a full snapshot re-compacts the chain every
+``FULL_SNAPSHOT_EVERY`` deltas (and on first publish) so the chain a
+lagging worker must replay stays short, and workers drop their older
+mappings when they rebase onto it.  A publish where *no* version changed
+reuses the current snapshot outright — even when the caller passes a
+freshly built dict.  This is what keeps the buffered-async engine cheap:
+each aggregation step touches at most ``buffer_k`` models, so each
+publish ships ``buffer_k`` models, not the whole suite.  The contract is
+the model version counter: any code that mutates a model outside
+``set_params``/``set_state``/transformations must call ``bump_version()``
+or workers will train against stale weights.
+
+Segments are owned by the coordinator process: the chain's segments are
+unlinked on compaction, on :meth:`~ProcessPoolRoundExecutor.close`, on a
+broken pool (the futures-drain failure path releases the arena — dead
+workers hold no mappings worth preserving), and — as a crash backstop —
+by a ``weakref.finalize`` hook at interpreter exit.
 
 **Determinism contract.** Every work item derives its RNG as
 ``np.random.default_rng(SeedSequence(seed, spawn_key=(round, client,
@@ -48,15 +60,16 @@ from __future__ import annotations
 import concurrent.futures
 import os
 import pickle
-import shutil
-import tempfile
+import secrets
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..nn.compute import compute_dtype_name, set_compute_dtype
 from ..nn.losses import accuracy
 from ..nn.model import CellModel
+from . import shm as _shm
 from .client import LocalTrainer, LocalTrainerConfig
 from .types import ClientUpdate, FLClient
 
@@ -76,8 +89,9 @@ __all__ = [
 EXECUTOR_BACKENDS = ("serial", "thread", "process")
 
 # Delta chain length cap: a full snapshot is rewritten after this many
-# consecutive delta publishes, bounding both on-disk chain length and the
-# replay work of a worker that sat idle for many publishes.
+# consecutive delta publishes, bounding both the number of live
+# shared-memory segments and the replay work of a worker that sat idle for
+# many publishes.
 FULL_SNAPSHOT_EVERY = 8
 
 
@@ -371,12 +385,35 @@ _WORKER: dict = {}
 
 
 def _proc_init(payload: bytes) -> None:
-    clients, trainer_config, seed = pickle.loads(payload)
+    clients, trainer_config, seed, dtype = pickle.loads(payload)
+    set_compute_dtype(dtype)
     _WORKER["clients_by_id"] = {c.client_id: c for c in clients}
     _WORKER["trainer"] = LocalTrainer(trainer_config)
     _WORKER["seed"] = seed
     _WORKER["version"] = 0  # published snapshot versions start at 1
     _WORKER["models"] = None
+    # name -> SharedMemory: segments whose buffers installed models view
+    # into.  Unlinking by the coordinator only removes the name; these
+    # mappings stay valid until closed, which happens wholesale when a
+    # full snapshot rebases the suite.
+    _WORKER["segments"] = {}
+
+
+def _worker_segment(name: str):
+    seg = _WORKER["segments"].get(name)
+    if seg is None:
+        seg = _WORKER["segments"][name] = _shm.attach_segment(name)
+    return seg
+
+
+def _worker_rebase(keep: str) -> None:
+    """Close every attached segment except ``keep`` (full-snapshot rebase)."""
+    segments = _WORKER["segments"]
+    for name in [n for n in segments if n != keep]:
+        try:
+            segments.pop(name).close()
+        except Exception:
+            pass
 
 
 def _proc_models(
@@ -384,32 +421,35 @@ def _proc_models(
 ) -> dict[str, CellModel]:
     """Bring this worker's cached suite up to ``version`` and return it.
 
-    ``chain`` is the server's currently retained snapshot files, ordered by
-    version: one full snapshot first, then the deltas published since.  A
-    worker already past the full snapshot replays only the deltas newer
-    than its cached version; a worker that lagged behind the full snapshot
-    (or never loaded one) rebases on it first.  Each file is read at most
-    once per worker per publish, exactly as with full-suite snapshots —
-    the bytes per file are just much smaller.
+    ``chain`` is the server's currently retained snapshot segments,
+    ordered by version: one full snapshot first, then the deltas published
+    since.  A worker already past the full snapshot replays only the
+    deltas newer than its cached version; a worker that lagged behind the
+    full snapshot (or never loaded one) rebases on it first — closing its
+    older segment mappings, since every model is rebuilt from the full
+    segment.  Each segment is mapped at most once per worker, and a
+    model's tensors are read-only views into the mapping — replaying a
+    delta installs offsets, it never copies tensor bytes.
     """
     if _WORKER["version"] == version:
         return _WORKER["models"]
     models = _WORKER["models"]
     cur = _WORKER["version"]
-    base_ver, base_kind, base_path = chain[0]
+    base_ver, base_kind, base_name = chain[0]
     if models is None or cur < base_ver:
         if base_kind != "full":
             raise RuntimeError(
                 f"snapshot chain must start with a full snapshot, got {base_kind!r}"
             )
-        with open(base_path, "rb") as f:
-            _, models = pickle.load(f)
+        kind, models, _, _ = _shm.read_snapshot_segment(_worker_segment(base_name))
+        _worker_rebase(keep=base_name)
         cur = base_ver
-    for ver, kind, path in chain[1:]:
+    for ver, kind, name in chain[1:]:
         if ver <= cur:
             continue
-        with open(path, "rb") as f:
-            _, changed, removed, all_ids = pickle.load(f)
+        _, changed, removed, all_ids = _shm.read_snapshot_segment(
+            _worker_segment(name)
+        )
         models.update(changed)
         for rid in removed:
             models.pop(rid, None)
@@ -451,12 +491,14 @@ class ProcessPoolRoundExecutor(RoundExecutor):
     """Process-pool backend: true multi-core rounds.
 
     The fleet ships to workers once via the pool initializer; each round's
-    models are published once as a versioned snapshot that workers load
-    lazily (at most one read per worker per version), so the per-item
-    payload stays a few hundred bytes.  Publishing is *incremental*: only
-    models whose :attr:`~repro.nn.model.CellModel.version` moved since the
-    last publish are pickled (see the module docstring).  The public
-    ``publish_*`` / ``*_bytes`` counters meter it for benchmarks and tests.
+    models are published once as a versioned shared-memory snapshot that
+    workers map lazily (at most one attach per worker per segment), so the
+    per-item payload stays a few hundred bytes.  Publishing is
+    *incremental*: only models whose
+    :attr:`~repro.nn.model.CellModel.version` moved since the last publish
+    land in the new segment (see the module docstring).  The public
+    ``publish_*`` / ``*_bytes`` counters meter it for benchmarks and
+    tests; byte counts are segment payload bytes (header + raw tensors).
     """
 
     backend = "process"
@@ -464,11 +506,16 @@ class ProcessPoolRoundExecutor(RoundExecutor):
     def __init__(self, clients, trainer_config, seed, max_workers=None):
         super().__init__(clients, trainer_config, seed, max_workers)
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
-        self._snapdir: str | None = None
         self._version = 0
-        # (version, "full" | "delta", path) of every retained snapshot file:
-        # the latest full snapshot plus the deltas published since it.
+        # (version, "full" | "delta", segment name) of every retained
+        # snapshot segment: the latest full snapshot plus the deltas
+        # published since it.
         self._chain: list[tuple[int, str, str]] = []
+        # Owned shared-memory segments by name; the finalizer holds this
+        # dict (not self), so an abandoned executor still unlinks at exit.
+        self._segments: dict = {}
+        self._arena_prefix = f"repro-{os.getpid()}-{secrets.token_hex(4)}"
+        self._finalizer = _shm.make_finalizer(self, self._segments)
         # model_id -> CellModel.version at last publish; None = never published.
         self._published_versions: dict[str, int] | None = None
         self._deltas_since_full = 0
@@ -477,7 +524,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self.full_publish_count = 0
         self.delta_publish_count = 0
         self.reused_publish_count = 0
-        self.bytes_pickled_total = 0
+        self.bytes_published_total = 0
         self.full_bytes_total = 0
         self.delta_bytes_total = 0
         self.last_publish_bytes = 0
@@ -485,27 +532,44 @@ class ProcessPoolRoundExecutor(RoundExecutor):
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
             payload = pickle.dumps(
-                (list(self.clients_by_id.values()), self.trainer_config, self.seed)
+                (
+                    list(self.clients_by_id.values()),
+                    self.trainer_config,
+                    self.seed,
+                    compute_dtype_name(),
+                )
             )
             workers = self.max_workers or (os.cpu_count() or 1)
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers, initializer=_proc_init, initargs=(payload,)
             )
-            self._snapdir = tempfile.mkdtemp(prefix="repro-executor-")
         return self._pool
 
-    @staticmethod
-    def _drain(futures: list[concurrent.futures.Future]) -> list:
+    def _drain(self, futures: list[concurrent.futures.Future]) -> list:
         """Gather results only after *every* future has settled.
 
         A plain ``[f.result() for f in futures]`` aborts on the first
         failure while later futures are still running — the next
-        ``_publish`` would then delete the snapshot file those workers are
-        reading mid-load.  Waiting first keeps the snapshot lifecycle safe;
-        the first failure still propagates to the caller.
+        ``_publish`` would then unlink the snapshot segment those workers
+        are attaching mid-load.  Waiting first keeps the snapshot
+        lifecycle safe; the first failure still propagates to the caller.
+        A *broken pool* (a worker died) additionally releases the arena on
+        the spot: the workers are gone, nothing holds the mappings, and a
+        crashed run must not leave segments behind.
         """
         concurrent.futures.wait(futures)
-        return [f.result() for f in futures]
+        try:
+            return [f.result() for f in futures]
+        except concurrent.futures.process.BrokenProcessPool:
+            self._release_arena()
+            raise
+
+    def _release_arena(self) -> None:
+        """Unlink every owned segment and reset publish state (idempotent)."""
+        _shm.unlink_segments(self._segments)
+        self._chain = []
+        self._published_versions = None
+        self._deltas_since_full = 0
 
     def _publish(
         self, models: dict[str, CellModel]
@@ -518,15 +582,15 @@ class ProcessPoolRoundExecutor(RoundExecutor):
           outright, even for a freshly built dict (the async engine's many
           dispatch waves between aggregations, and repeated evaluations of
           an idle suite, publish nothing);
-        * some versions moved — only those models are pickled as a delta
-          appended to the chain;
+        * some versions moved — only those models' tensors land in a delta
+          segment appended to the chain;
         * first publish, every model changed, or ``FULL_SNAPSHOT_EVERY``
-          deltas accumulated — a full snapshot is written and the old chain
-          files are deleted (safe: train/eval/logits rounds drain all
-          futures before returning, including on failure — see
-          :meth:`_drain` — so no worker is mid-read between publishes).
+          deltas accumulated — a full snapshot segment is written and the
+          old chain segments are unlinked (safe: train/eval/logits rounds
+          drain all futures before returning, including on failure — see
+          :meth:`_drain` — so no worker is mid-attach between publishes,
+          and workers' existing mappings survive the unlink).
         """
-        assert self._snapdir is not None
         versions = {mid: m.version for mid, m in models.items()}
         if versions == self._published_versions:
             self.reused_publish_count += 1
@@ -544,35 +608,32 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             or len(changed) == len(models)
             or self._deltas_since_full >= FULL_SNAPSHOT_EVERY
         )
+        name = f"{self._arena_prefix}-v{self._version}"
         if full:
-            payload = pickle.dumps(
-                ("full", dict(models)), protocol=pickle.HIGHEST_PROTOCOL
-            )
-        else:
-            payload = pickle.dumps(
-                ("delta", changed, removed, frozenset(models)),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-        path = os.path.join(self._snapdir, f"models_v{self._version}.pkl")
-        with open(path, "wb") as f:
-            f.write(payload)
-        if full:
+            seg, nbytes = _shm.write_snapshot_segment(name, "full", dict(models))
             for _, _, old in self._chain:
-                if os.path.exists(old):
-                    os.remove(old)
-            self._chain = [(self._version, "full", path)]
+                shm_old = self._segments.pop(old, None)
+                if shm_old is not None:
+                    shm_old.close()
+                    shm_old.unlink()
+            self._segments[name] = seg
+            self._chain = [(self._version, "full", name)]
             self._deltas_since_full = 0
             self.full_publish_count += 1
-            self.full_bytes_total += len(payload)
+            self.full_bytes_total += nbytes
         else:
-            self._chain.append((self._version, "delta", path))
+            seg, nbytes = _shm.write_snapshot_segment(
+                name, "delta", changed, removed, frozenset(models)
+            )
+            self._segments[name] = seg
+            self._chain.append((self._version, "delta", name))
             self._deltas_since_full += 1
             self.delta_publish_count += 1
-            self.delta_bytes_total += len(payload)
+            self.delta_bytes_total += nbytes
         self._published_versions = versions
         self.publish_count += 1
-        self.last_publish_bytes = len(payload)
-        self.bytes_pickled_total += len(payload)
+        self.last_publish_bytes = nbytes
+        self.bytes_published_total += nbytes
         return self._version, tuple(self._chain)
 
     def train_round(self, round_idx, items, models):
@@ -605,12 +666,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        if self._snapdir is not None:
-            shutil.rmtree(self._snapdir, ignore_errors=True)
-            self._snapdir = None
-            self._chain = []
-            self._published_versions = None
-            self._deltas_since_full = 0
+        self._release_arena()
 
 
 _BACKENDS = {

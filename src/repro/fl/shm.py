@@ -1,0 +1,230 @@
+"""Shared-memory model snapshots for the process round executor.
+
+The process backend used to publish models as pickle files: every publish
+serialized each changed model's tensors into bytes, and every worker
+deserialized them back into fresh arrays.  This module replaces the byte
+round-trip with ``multiprocessing.shared_memory`` segments:
+
+* the coordinator writes each changed model's parameter/state tensors
+  **once** into a segment (raw, aligned, no serialization);
+* a small pickled header at the start of the segment carries everything
+  that is not bulk float data — the architecture spec
+  (:func:`~repro.nn.serialization.model_spec`), per-tensor
+  ``(offset, shape, dtype)`` records, and the delta bookkeeping (removed
+  ids, the coherent id set);
+* workers attach the segment and rebuild each model around **read-only
+  views** into the mapped buffer — a delta is a handful of offsets, not
+  serialized bytes, and the tensor data is never copied on the worker
+  side (training clones the suite model per work item, exactly as
+  before, which is where the private writable copy comes from).
+
+Lifecycle: the coordinator owns segments and unlinks them when a snapshot
+chain compacts and on ``close()``; a ``weakref.finalize`` backstop unlinks
+on interpreter exit if an executor is abandoned without ``close()``
+(crash-path hygiene — POSIX shared memory outlives the process
+otherwise).  Workers keep attached segments open for as long as installed
+models view into them (unlinking only removes the name; existing mappings
+stay valid) and drop them wholesale when a full snapshot rebases the
+suite.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..nn.model import CellModel
+from ..nn.serialization import model_from_spec, model_spec
+
+__all__ = [
+    "write_snapshot_segment",
+    "read_snapshot_segment",
+    "attach_segment",
+    "segment_exists",
+    "unlink_segments",
+    "make_finalizer",
+]
+
+_ALIGN = 64
+_HEADER_LEN = struct.Struct("<Q")
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+# ----------------------------------------------------------------------
+# coordinator side: write
+# ----------------------------------------------------------------------
+def _tensor_items(model: CellModel):
+    """Deterministic (scope, key, array) walk: params then state."""
+    for key, arr in model.params().items():
+        yield "param", key, arr
+    for key, arr in model.state().items():
+        yield "state", key, arr
+
+
+def write_snapshot_segment(
+    name: str,
+    kind: str,
+    models: dict[str, CellModel],
+    removed: frozenset[str] = frozenset(),
+    all_ids: frozenset[str] = frozenset(),
+) -> tuple[shared_memory.SharedMemory, int]:
+    """Create segment ``name`` holding ``models``; returns ``(shm, bytes)``.
+
+    ``kind`` is ``"full"`` (the complete suite) or ``"delta"`` (changed
+    models only, plus the removed ids and the coherent id set for the
+    worker-side consistency check).  The returned byte count is the
+    payload size (header + tensor data).
+    """
+    metas: dict[str, dict] = {}
+    blobs: list[tuple[int, np.ndarray]] = []
+    offset = 0
+    tensor_bytes = 0
+    for mid, model in models.items():
+        tensors = []
+        for scope, key, arr in _tensor_items(model):
+            arr = np.ascontiguousarray(arr)
+            off = _aligned(offset)
+            tensors.append((scope, key, off, arr.shape, arr.dtype.str))
+            blobs.append((off, arr))
+            offset = off + arr.nbytes
+            tensor_bytes += arr.nbytes
+        metas[mid] = {
+            "spec": model_spec(model),
+            "version": model.version,
+            "tensors": tensors,
+        }
+    header = pickle.dumps(
+        {
+            "kind": kind,
+            "models": metas,
+            "removed": tuple(sorted(removed)),
+            "all_ids": tuple(sorted(all_ids)),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    payload_start = _aligned(_HEADER_LEN.size + len(header))
+    total = max(payload_start + offset, 1)
+    shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+    buf = shm.buf
+    _HEADER_LEN.pack_into(buf, 0, len(header))
+    buf[_HEADER_LEN.size : _HEADER_LEN.size + len(header)] = header
+    for off, arr in blobs:
+        dst = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=buf, offset=payload_start + off
+        )
+        dst[...] = arr
+    return shm, len(header) + tensor_bytes
+
+
+# ----------------------------------------------------------------------
+# worker side: attach + rebuild
+# ----------------------------------------------------------------------
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting cleanup responsibility.
+
+    The coordinator is the sole owner.  Attaching re-registers the name
+    with the resource tracker, but the fork-started workers share the
+    coordinator's tracker process and its cache is a *set* of names — the
+    worker's registration is a no-op and the coordinator's unlink retires
+    the single entry.  (Do NOT unregister here: with the shared tracker
+    that would remove the coordinator's registration and turn its later
+    unlink into tracker noise.)
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a segment of this name currently exists (tests, leak checks)."""
+    try:
+        shm = attach_segment(name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+def _install_views(model: CellModel, views: dict[tuple[str, str], np.ndarray]) -> None:
+    """Replace a freshly built model's tensors with shared-memory views.
+
+    Layer parameter/state names equal their attribute names (``w``,
+    ``gamma``, ``running_mean``, …) — the substrate-wide convention — so
+    installation is a generic setattr walk.  Gradient buffers keep their
+    construction-time private arrays (same shapes).
+    """
+    for cell in model.cells:
+        for lname, layer in cell._named_layers():
+            for pname in list(layer.params()):
+                setattr(layer, pname, views[("param", f"{cell.cell_id}/{lname}.{pname}")])
+            for sname in list(layer.state()):
+                setattr(layer, sname, views[("state", f"{cell.cell_id}/{lname}.{sname}")])
+
+
+def read_snapshot_segment(
+    shm: shared_memory.SharedMemory,
+) -> tuple[str, dict[str, CellModel], frozenset[str], frozenset[str]]:
+    """Decode a segment into ``(kind, models, removed, all_ids)``.
+
+    Each model is rebuilt from its architecture spec and its tensors are
+    installed as read-only views into the mapped buffer — zero-copy: the
+    only per-tensor cost is the ndarray wrapper.  Callers must keep
+    ``shm`` open for as long as any returned model is alive.
+    """
+    buf = shm.buf
+    (hlen,) = _HEADER_LEN.unpack_from(buf, 0)
+    header = pickle.loads(bytes(buf[_HEADER_LEN.size : _HEADER_LEN.size + hlen]))
+    payload_start = _aligned(_HEADER_LEN.size + hlen)
+    models: dict[str, CellModel] = {}
+    for mid, meta in header["models"].items():
+        model = model_from_spec(meta["spec"])
+        views: dict[tuple[str, str], np.ndarray] = {}
+        for scope, key, off, shape, dtype_str in meta["tensors"]:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype_str), buffer=buf, offset=payload_start + off
+            )
+            view.flags.writeable = False
+            views[(scope, key)] = view
+        _install_views(model, views)
+        # A replica of server state: answer version-keyed lookups like the
+        # original (clone(keep_id=True) semantics).
+        model.sync_version(meta["version"])
+        models[mid] = model
+    return (
+        header["kind"],
+        models,
+        frozenset(header["removed"]),
+        frozenset(header["all_ids"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# coordinator side: cleanup
+# ----------------------------------------------------------------------
+def unlink_segments(segments: dict[str, shared_memory.SharedMemory]) -> None:
+    """Close and unlink every owned segment; idempotent, never raises.
+
+    Also the ``weakref.finalize`` target: it receives the executor's live
+    segment registry (a plain dict, so the finalizer holds no reference to
+    the executor itself) and empties it.
+    """
+    for shm in list(segments.values()):
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+    segments.clear()
+
+
+def make_finalizer(owner, segments: dict[str, shared_memory.SharedMemory]):
+    """Crash-path backstop: unlink owned segments when ``owner`` dies."""
+    return weakref.finalize(owner, unlink_segments, segments)

@@ -39,7 +39,9 @@ class PatchEmbed(Layer):
         in_features = in_channels * patch * patch
         self.w = xavier_uniform(rng, (in_features, dim), in_features, dim)
         self.b = zeros((dim,))
-        self.pos = rng.normal(0.0, 0.02, size=(self.tokens, dim))
+        self.pos = rng.normal(0.0, 0.02, size=(self.tokens, dim)).astype(
+            self.w.dtype, copy=False
+        )
         self.g_w = np.zeros_like(self.w)
         self.g_b = np.zeros_like(self.b)
         self.g_pos = np.zeros_like(self.pos)
@@ -116,7 +118,8 @@ class MultiHeadSelfAttention(Layer):
         q = q.reshape(n, t, h, hd).transpose(0, 2, 1, 3)
         k = k.reshape(n, t, h, hd).transpose(0, 2, 1, 3)
         v = v.reshape(n, t, h, hd).transpose(0, 2, 1, 3)
-        scale = 1.0 / np.sqrt(hd)
+        # A Python float so NEP-50 weak promotion keeps float32 scores float32.
+        scale = float(1.0 / np.sqrt(hd))
         scores = np.matmul(q, k.transpose(0, 1, 3, 2)) * scale  # (N, h, T, T)
         probs = softmax(scores, axis=-1)
         ctx = np.matmul(probs, v)  # (N, h, T, hd)

@@ -149,6 +149,8 @@ def _grow_axis(
         shape[axis] = wm.new_width - wm.old_width
         std = fresh_std if fresh_std is not None else max(float(arr.std()), 1e-8)
         extra = rng.normal(0.0, std, shape)
+        if extra.dtype != arr.dtype:
+            extra = extra.astype(arr.dtype)
         return np.concatenate([arr, extra], axis=axis)
     out = _dup_axis(arr, wm.mapping, axis)
     _break_symmetry(out, axis, wm.old_width, noise, rng)
@@ -160,7 +162,7 @@ def _grow_axis_fill(arr: np.ndarray, wm: WidenMapping, axis: int, fill: float) -
     if wm.zero_new:
         shape = list(arr.shape)
         shape[axis] = wm.new_width - wm.old_width
-        return np.concatenate([arr, np.full(shape, fill)], axis=axis)
+        return np.concatenate([arr, np.full(shape, fill, dtype=arr.dtype)], axis=axis)
     return _dup_axis(arr, wm.mapping, axis)
 
 
@@ -181,11 +183,14 @@ def _expand_consumer_axis(
     if wm.zero_new:
         shape = list(arr.shape)
         shape[axis] = wm.new_width - wm.old_width
-        return np.concatenate([arr, np.zeros(shape)], axis=axis)
+        return np.concatenate([arr, np.zeros(shape, dtype=arr.dtype)], axis=axis)
     out = _dup_axis(arr, wm.mapping, axis)
     scale_shape = [1] * arr.ndim
     scale_shape[axis] = wm.new_width
-    out = out / wm.scale_for_consumer().reshape(scale_shape)
+    # Duplication counts are small exact integers: casting the divisor to
+    # the tensor dtype keeps float32 models float32 without changing the
+    # float64 result.
+    out = out / wm.scale_for_consumer().reshape(scale_shape).astype(out.dtype, copy=False)
     if rng is not None:
         _break_symmetry(out, axis, wm.old_width, noise, rng)
     return out
@@ -500,7 +505,7 @@ class ConvCell(Cell):
             origin="inserted",
         )
         cell.conv.w = identity_conv_kernel(channels, kernel)
-        cell.conv.b = np.zeros(channels)
+        cell.conv.b = np.zeros(channels, dtype=cell.conv.w.dtype)
         cell.conv.resize_grads()
         return cell
 
@@ -668,7 +673,7 @@ class ResidualConvCell(Cell):
             cell.conv2.b = np.zeros_like(cell.conv2.b)
         cell.conv2.resize_grads()
         cell.proj.w = identity_conv_kernel(channels, 1)
-        cell.proj.b = np.zeros(channels)
+        cell.proj.b = np.zeros(channels, dtype=cell.proj.w.dtype)
         cell.proj.resize_grads()
         return cell
 
@@ -751,7 +756,7 @@ class DenseCell(Cell):
         rng = np.random.default_rng(0)
         cell = cls(features, features, rng, origin="inserted")
         cell.fc.w = identity_dense(features)
-        cell.fc.b = np.zeros(features)
+        cell.fc.b = np.zeros(features, dtype=cell.fc.w.dtype)
         cell.fc.resize_grads()
         return cell
 

@@ -4,11 +4,21 @@ Everything here is a pure function on :class:`numpy.ndarray` values, written
 with vectorized NumPy idioms (no per-element Python loops on the hot path).
 The convolution kernels use the classic im2col/col2im lowering so the heavy
 lifting happens inside BLAS matmuls.
+
+Hot-path kernels take an optional :class:`~repro.nn.compute.Workspace`:
+when given, large intermediates (padded inputs, im2col columns, matmul
+outputs) land in pooled buffers reused across steps instead of fresh
+allocations.  The workspace path performs *exactly* the same arithmetic as
+the allocating path — pooling is bit-transparent — and every buffer is
+fully overwritten before it is read, so stale contents can never leak into
+results.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .compute import Workspace
 
 __all__ = [
     "conv_output_size",
@@ -37,7 +47,7 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int, ws: Workspace | None = None
 ) -> tuple[np.ndarray, int, int]:
     """Lower sliding convolution windows into columns.
 
@@ -45,6 +55,9 @@ def im2col(
     ----------
     x:
         Input of shape ``(N, C, H, W)``.
+    ws:
+        Optional workspace: the padded input and the column buffer come
+        from the pool instead of fresh allocations.
 
     Returns
     -------
@@ -57,8 +70,23 @@ def im2col(
     oh = conv_output_size(h, kh, stride, pad)
     ow = conv_output_size(w, kw, stride, pad)
     if pad > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+        if ws is None:
+            x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        else:
+            # The border is written only when the buffer is born (it is
+            # always zero); the interior is rewritten every call.
+            xp = ws.get(
+                "im2col_pad",
+                (n, c, h + 2 * pad, w + 2 * pad),
+                x.dtype,
+                zero_first=True,
+            )
+            xp[:, :, pad : pad + h, pad : pad + w] = x
+            x = xp
+    if ws is None:
+        cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    else:
+        cols = ws.get("im2col_cols", (n, c, kh, kw, oh, ow), x.dtype)
     for i in range(kh):
         i_end = i + stride * oh
         for j in range(kw):
@@ -74,13 +102,19 @@ def col2im(
     kw: int,
     stride: int,
     pad: int,
+    ws: Workspace | None = None,
 ) -> np.ndarray:
     """Inverse of :func:`im2col`: scatter-add columns back into an image."""
     n, c, h, w = x_shape
     oh = conv_output_size(h, kh, stride, pad)
     ow = conv_output_size(w, kw, stride, pad)
     cols = cols.reshape(n, c, kh, kw, oh, ow)
-    xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    if ws is None:
+        xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    else:
+        # Scatter-add target: must start from zero on every call.
+        xp = ws.get("col2im_xp", (n, c, h + 2 * pad, w + 2 * pad), cols.dtype)
+        xp[...] = 0.0
     for i in range(kh):
         i_end = i + stride * oh
         for j in range(kw):
@@ -92,7 +126,12 @@ def col2im(
 
 
 def conv2d_forward(
-    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None, stride: int, pad: int
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: int,
+    pad: int,
+    ws: Workspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """2-D convolution forward pass.
 
@@ -104,6 +143,8 @@ def conv2d_forward(
         ``(F, C, kh, kw)`` filters.
     bias:
         ``(F,)`` or ``None``.
+    ws:
+        Optional workspace for the column and output buffers.
 
     Returns
     -------
@@ -113,12 +154,16 @@ def conv2d_forward(
         The im2col buffer, cached for the backward pass.
     """
     f, c, kh, kw = weight.shape
-    cols, oh, ow = im2col(x, kh, kw, stride, pad)
+    cols, oh, ow = im2col(x, kh, kw, stride, pad, ws)
     wm = weight.reshape(f, c * kh * kw)
-    out = np.matmul(wm[None], cols)  # (N, F, OH*OW)
+    n = x.shape[0]
+    if ws is None:
+        out = np.matmul(wm[None], cols)  # (N, F, OH*OW)
+    else:
+        out = ws.get("conv_out", (n, f, oh * ow), cols.dtype)
+        np.matmul(wm[None], cols, out=out)
     if bias is not None:
         out += bias[None, :, None]
-    n = x.shape[0]
     return out.reshape(n, f, oh, ow), cols
 
 
@@ -130,6 +175,7 @@ def conv2d_backward(
     stride: int,
     pad: int,
     with_bias: bool = True,
+    ws: Workspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
     """Backward pass of :func:`conv2d_forward`.
 
@@ -140,24 +186,45 @@ def conv2d_backward(
     n = dout.shape[0]
     dflat = dout.reshape(n, f, -1)  # (N, F, OH*OW)
     wm = weight.reshape(f, c * kh * kw)
-    dw = np.einsum("nfo,nko->fk", dflat, cols).reshape(weight.shape)
-    dcols = np.matmul(wm.T[None], dflat)  # (N, K, OH*OW)
-    dx = col2im(dcols, x_shape, kh, kw, stride, pad)
+    if ws is None:
+        dw = np.einsum("nfo,nko->fk", dflat, cols).reshape(weight.shape)
+        dcols = np.matmul(wm.T[None], dflat)  # (N, K, OH*OW)
+    else:
+        dw = ws.get("conv_dw", (f, c * kh * kw), weight.dtype)
+        np.einsum("nfo,nko->fk", dflat, cols, out=dw)
+        dw = dw.reshape(weight.shape)
+        dcols = ws.get("conv_dcols", (n, c * kh * kw, dflat.shape[2]), cols.dtype)
+        np.matmul(wm.T[None], dflat, out=dcols)
+    dx = col2im(dcols, x_shape, kh, kw, stride, pad, ws)
     db = dflat.sum(axis=(0, 2)) if with_bias else None
     return dx, dw, db
 
 
-def relu(x: np.ndarray) -> np.ndarray:
+def relu(x: np.ndarray, ws: Workspace | None = None) -> np.ndarray:
     """Rectified linear unit."""
-    return np.maximum(x, 0.0)
+    if ws is None:
+        return np.maximum(x, 0.0)
+    out = ws.get("relu_out", x.shape, x.dtype)
+    np.maximum(x, 0.0, out=out)
+    return out
 
 
-def relu_grad(x: np.ndarray, dout: np.ndarray) -> np.ndarray:
+def relu_grad(
+    x: np.ndarray, dout: np.ndarray, ws: Workspace | None = None
+) -> np.ndarray:
     """Gradient of ReLU with respect to its input."""
-    return dout * (x > 0)
+    if ws is None:
+        return dout * (x > 0)
+    mask = ws.get("relu_mask", x.shape, np.dtype(bool))
+    np.greater(x, 0, out=mask)
+    dx = ws.get("relu_dx", dout.shape, dout.dtype)
+    np.multiply(dout, mask, out=dx)
+    return dx
 
 
-_GELU_C = np.sqrt(2.0 / np.pi)
+# A Python float (not a NumPy scalar) so NEP-50 weak promotion keeps
+# float32 activations in float32.
+_GELU_C = float(np.sqrt(2.0 / np.pi))
 
 
 def gelu(x: np.ndarray) -> np.ndarray:

@@ -2,19 +2,32 @@
 
 All initializers take an explicit :class:`numpy.random.Generator` so that
 every model in the simulation is reproducible from a seed.
+
+Every initializer emits tensors in the process-wide compute dtype
+(:func:`repro.nn.compute.compute_dtype`).  Random draws are made in the
+generator's native float64 and then cast, so a float32 run initializes with
+the float32 rounding of exactly the float64 values — deterministic per
+seed, and a float64 run is untouched (no cast, no copy).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .compute import compute_dtype
+
 __all__ = ["he_normal", "xavier_uniform", "zeros", "identity_conv_kernel", "identity_dense"]
+
+
+def _cast(arr: np.ndarray) -> np.ndarray:
+    dtype = compute_dtype()
+    return arr if arr.dtype == dtype else arr.astype(dtype)
 
 
 def he_normal(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
     """He-normal initialization, suited to ReLU networks."""
     std = np.sqrt(2.0 / max(fan_in, 1))
-    return rng.normal(0.0, std, size=shape)
+    return _cast(rng.normal(0.0, std, size=shape))
 
 
 def xavier_uniform(
@@ -22,12 +35,12 @@ def xavier_uniform(
 ) -> np.ndarray:
     """Glorot/Xavier uniform initialization."""
     limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-limit, limit, size=shape)
+    return _cast(rng.uniform(-limit, limit, size=shape))
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
     """All-zeros tensor (biases, zero-init residual branches)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=compute_dtype())
 
 
 def identity_conv_kernel(channels: int, kernel: int = 3) -> np.ndarray:
@@ -39,7 +52,7 @@ def identity_conv_kernel(channels: int, kernel: int = 3) -> np.ndarray:
     """
     if kernel % 2 != 1:
         raise ValueError("identity kernels require odd kernel size")
-    k = np.zeros((channels, channels, kernel, kernel))
+    k = np.zeros((channels, channels, kernel, kernel), dtype=compute_dtype())
     centre = kernel // 2
     idx = np.arange(channels)
     k[idx, idx, centre, centre] = 1.0
@@ -48,4 +61,4 @@ def identity_conv_kernel(channels: int, kernel: int = 3) -> np.ndarray:
 
 def identity_dense(features: int) -> np.ndarray:
     """Identity weight matrix for a Dense layer (``x @ I == x``)."""
-    return np.eye(features)
+    return np.eye(features, dtype=compute_dtype())

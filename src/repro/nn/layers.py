@@ -11,6 +11,15 @@ Every layer follows the same contract:
   can chain cost accounting without running data through the network.
 
 Layers are single-use per step: call ``forward`` then ``backward``.
+
+Hot layers (Conv2d, BatchNorm2d, ReLU) own a private
+:class:`~repro.nn.compute.Workspace`: their large intermediates are pooled
+buffers sized on first use and reused across steps (bit-identical to fresh
+allocations).  Because a layer's buffers are overwritten by its next
+``forward``, layer outputs are only valid until that layer runs again —
+which the single-use-per-step contract already guarantees.  Cloned cells
+start with fresh workspaces (``Workspace.__deepcopy__``), so parallel
+backends never share scratch memory.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import functional as F
+from .compute import Workspace, compute_dtype
 from .init import he_normal, zeros
 
 __all__ = [
@@ -134,6 +144,7 @@ class Conv2d(Layer):
         self.g_w = np.zeros_like(self.w)
         self.g_b = np.zeros_like(self.b) if bias else None
         self._cache: tuple[np.ndarray, tuple[int, int, int, int]] | None = None
+        self._ws = Workspace()
 
     @property
     def in_channels(self) -> int:
@@ -144,7 +155,7 @@ class Conv2d(Layer):
         return self.w.shape[0]
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
-        out, cols = F.conv2d_forward(x, self.w, self.b, self.stride, self.pad)
+        out, cols = F.conv2d_forward(x, self.w, self.b, self.stride, self.pad, self._ws)
         self._cache = (cols, x.shape)
         return out
 
@@ -152,7 +163,8 @@ class Conv2d(Layer):
         assert self._cache is not None, "backward before forward"
         cols, x_shape = self._cache
         dx, dw, db = F.conv2d_backward(
-            dout, cols, x_shape, self.w, self.stride, self.pad, with_bias=self.b is not None
+            dout, cols, x_shape, self.w, self.stride, self.pad,
+            with_bias=self.b is not None, ws=self._ws,
         )
         self.g_w += dw
         if db is not None:
@@ -190,47 +202,78 @@ class BatchNorm2d(Layer):
     """Per-channel batch normalization over NCHW activations."""
 
     def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5):
-        self.gamma = np.ones(channels)
-        self.beta = np.zeros(channels)
-        self.running_mean = np.zeros(channels)
-        self.running_var = np.ones(channels)
+        dtype = compute_dtype()
+        self.gamma = np.ones(channels, dtype=dtype)
+        self.beta = np.zeros(channels, dtype=dtype)
+        self.running_mean = np.zeros(channels, dtype=dtype)
+        self.running_var = np.ones(channels, dtype=dtype)
         self.momentum = momentum
         self.eps = eps
         self.g_gamma = np.zeros_like(self.gamma)
         self.g_beta = np.zeros_like(self.beta)
         self._cache: tuple | None = None
+        self._ws = Workspace()
 
     @property
     def channels(self) -> int:
         return self.gamma.shape[0]
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        ws = self._ws
+        xhat = ws.get("bn_xhat", x.shape, x.dtype)
         if train:
             mean = x.mean(axis=(0, 2, 3))
-            var = x.var(axis=(0, 2, 3))
-            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
-            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+            # Centered input lands straight in the xhat buffer; the
+            # variance is mean((x - mean)^2) over the same pooled scratch —
+            # the same reduction np.var performs internally, minus np.var's
+            # two input-sized temporaries.
+            np.subtract(x, mean[None, :, None, None], out=xhat)
+            sq = ws.get("bn_tmp", x.shape, x.dtype)
+            np.multiply(xhat, xhat, out=sq)
+            var = sq.mean(axis=(0, 2, 3))
+            # In place, NOT `rm = momentum * rm + ...`: rebinding to a fresh
+            # array every step would invalidate the live references handed
+            # out by state() (the version-tracking contract: consumers hold
+            # those arrays across steps) and allocate twice per step.
+            self.running_mean *= self.momentum
+            self.running_mean += (1 - self.momentum) * mean
+            self.running_var *= self.momentum
+            self.running_var += (1 - self.momentum) * var
         else:
             mean, var = self.running_mean, self.running_var
+            np.subtract(x, mean[None, :, None, None], out=xhat)
         inv_std = 1.0 / np.sqrt(var + self.eps)
-        xhat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        xhat *= inv_std[None, :, None, None]
         self._cache = (xhat, inv_std, train)
-        return self.gamma[None, :, None, None] * xhat + self.beta[None, :, None, None]
+        out = ws.get("bn_out", x.shape, x.dtype)
+        np.multiply(self.gamma[None, :, None, None], xhat, out=out)
+        out += self.beta[None, :, None, None]
+        return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         assert self._cache is not None, "backward before forward"
         xhat, inv_std, train = self._cache
-        self.g_gamma += (dout * xhat).sum(axis=(0, 2, 3))
+        ws = self._ws
+        tmp = ws.get("bn_tmp", dout.shape, dout.dtype)
+        np.multiply(dout, xhat, out=tmp)
+        self.g_gamma += tmp.sum(axis=(0, 2, 3))
         self.g_beta += dout.sum(axis=(0, 2, 3))
-        dxhat = dout * self.gamma[None, :, None, None]
+        dxhat = ws.get("bn_dxhat", dout.shape, dout.dtype)
+        np.multiply(dout, self.gamma[None, :, None, None], out=dxhat)
         if not train:
-            return dxhat * inv_std[None, :, None, None]
+            dxhat *= inv_std[None, :, None, None]
+            return dxhat
         n = dout.shape[0] * dout.shape[2] * dout.shape[3]
         # Full batch-stat backward: dx = (1/N) inv_std (N dxhat - sum dxhat - xhat * sum(dxhat*xhat))
         sum_dxhat = dxhat.sum(axis=(0, 2, 3), keepdims=True)
-        sum_dxhat_xhat = (dxhat * xhat).sum(axis=(0, 2, 3), keepdims=True)
-        dx = (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n) * inv_std[None, :, None, None]
-        return dx
+        np.multiply(dxhat, xhat, out=tmp)
+        sum_dxhat_xhat = tmp.sum(axis=(0, 2, 3), keepdims=True)
+        np.subtract(dxhat, sum_dxhat / n, out=dxhat)
+        np.multiply(xhat, sum_dxhat_xhat, out=tmp)
+        tmp /= n
+        dxhat -= tmp
+        dxhat *= inv_std[None, :, None, None]
+        return dxhat
 
     def params(self) -> dict[str, np.ndarray]:
         return {"gamma": self.gamma, "beta": self.beta}
@@ -250,8 +293,9 @@ class LayerNorm(Layer):
     """Layer normalization over the last dimension."""
 
     def __init__(self, features: int, eps: float = 1e-5):
-        self.gamma = np.ones(features)
-        self.beta = np.zeros(features)
+        dtype = compute_dtype()
+        self.gamma = np.ones(features, dtype=dtype)
+        self.beta = np.zeros(features, dtype=dtype)
         self.eps = eps
         self.g_gamma = np.zeros_like(self.gamma)
         self.g_beta = np.zeros_like(self.beta)
@@ -300,14 +344,15 @@ class ReLU(Layer):
 
     def __init__(self) -> None:
         self._x: np.ndarray | None = None
+        self._ws = Workspace()
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         self._x = x
-        return F.relu(x)
+        return F.relu(x, self._ws)
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         assert self._x is not None
-        return F.relu_grad(self._x, dout)
+        return F.relu_grad(self._x, dout, self._ws)
 
 
 class GELU(Layer):
@@ -362,11 +407,21 @@ class AvgPool2d(_Pool2d):
 class MaxPool2d(_Pool2d):
     """Non-overlapping max pooling."""
 
+    def __init__(self, kernel: int = 2):
+        super().__init__(kernel)
+        self._ws = Workspace()
+
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         split = self._split(x)
         n, c, oh, k, ow, _ = split.shape
-        flat = split.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, k * k)
-        idx = flat.argmax(axis=-1)
+        # Window-major copy into a pooled buffer: assigning through the
+        # 6-D view writes the transposed data straight into contiguous
+        # memory (the old transpose().reshape() materialized the same copy
+        # as a fresh allocation every call).
+        flat = self._ws.get("mp_flat", (n, c, oh, ow, k * k), x.dtype)
+        flat.reshape(n, c, oh, ow, k, k)[...] = split.transpose(0, 1, 2, 4, 3, 5)
+        idx = self._ws.get("mp_idx", (n, c, oh, ow), np.dtype(np.intp))
+        flat.argmax(axis=-1, out=idx)
         self._cache = (x.shape, idx)
         return np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
 
@@ -375,10 +430,14 @@ class MaxPool2d(_Pool2d):
         n, c, h, w = x_shape
         k = self.kernel
         oh, ow = h // k, w // k
-        dflat = np.zeros((n, c, oh, ow, k * k), dtype=dout.dtype)
+        dflat = self._ws.get("mp_dflat", (n, c, oh, ow, k * k), dout.dtype)
+        dflat[...] = 0.0
         np.put_along_axis(dflat, idx[..., None], dout[..., None], axis=-1)
-        d = dflat.reshape(n, c, oh, ow, k, k).transpose(0, 1, 2, 4, 3, 5)
-        return d.reshape(x_shape)
+        dx = self._ws.get("mp_dx", x_shape, dout.dtype)
+        dx.reshape(n, c, oh, k, ow, k)[...] = dflat.reshape(
+            n, c, oh, ow, k, k
+        ).transpose(0, 1, 2, 4, 3, 5)
+        return dx
 
 
 class GlobalAvgPool2d(Layer):
@@ -386,6 +445,7 @@ class GlobalAvgPool2d(Layer):
 
     def __init__(self) -> None:
         self._shape: tuple[int, ...] | None = None
+        self._ws = Workspace()
 
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         self._shape = x.shape
@@ -393,7 +453,9 @@ class GlobalAvgPool2d(Layer):
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         n, c, h, w = self._shape
-        return np.broadcast_to(dout[:, :, None, None], (n, c, h, w)) / (h * w)
+        dx = self._ws.get("gap_dx", (n, c, h, w), dout.dtype)
+        np.divide(np.broadcast_to(dout[:, :, None, None], (n, c, h, w)), h * w, out=dx)
+        return dx
 
     def macs(self, input_shape: tuple[int, ...]) -> tuple[int, tuple[int, ...]]:
         c, h, w = input_shape

@@ -4,15 +4,35 @@ Losses return ``(value, dlogits)`` so training code can immediately start the
 backward pass.  Values are means over the batch, matching the convention used
 by the FL cost accounting (per-sample losses aggregate across clients by
 sample-count weighting).
+
+:func:`softmax_cross_entropy` runs on pooled scratch buffers (one
+:class:`~repro.nn.compute.Workspace` per thread, so parallel backends never
+share scratch): at a steady batch shape the loss allocates nothing per step.
+The pooled path performs exactly the arithmetic of the naive expression —
+``z - log(exp(z).sum())``, ``(softmax - target) / n`` — so it is
+bit-identical to the pre-pooling implementation.  The returned ``dlogits``
+is freshly allocated (callers may hold it across later loss calls); only
+the internal intermediates are pooled.
 """
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
-from .functional import log_softmax, softmax
+from .compute import Workspace
 
 __all__ = ["softmax_cross_entropy", "accuracy"]
+
+_tls = threading.local()
+
+
+def _ws() -> Workspace:
+    ws = getattr(_tls, "ws", None)
+    if ws is None:
+        ws = _tls.ws = Workspace()
+    return ws
 
 
 def softmax_cross_entropy(
@@ -34,16 +54,36 @@ def softmax_cross_entropy(
         raise ValueError(f"labels shape {labels.shape} does not match logits {logits.shape}")
     if np.any(labels < 0) or np.any(labels >= k):
         raise ValueError("labels out of range for logits")
-    logp = log_softmax(logits, axis=-1)
+    ws = _ws()
+    rows = np.arange(n)
+    # log_softmax: z = x - max; logp = z - log(exp(z).sum())
+    z = ws.get("xent_z", logits.shape, logits.dtype)
+    np.subtract(logits, logits.max(axis=-1, keepdims=True), out=z)
+    e = ws.get("xent_e", logits.shape, logits.dtype)
+    np.exp(z, out=e)
+    esum = e.sum(axis=-1, keepdims=True)
+    logp = z  # z is dead after this point; reuse it in place
+    np.subtract(z, np.log(esum), out=logp)
+    # The target distribution follows the logits dtype (float32 runs stay
+    # float32 end to end).
+    target = ws.get("xent_target", logits.shape, logits.dtype)
     if label_smoothing > 0.0:
         smooth = label_smoothing / (k - 1) if k > 1 else 0.0
-        target = np.full((n, k), smooth)
-        target[np.arange(n), labels] = 1.0 - label_smoothing
+        target[...] = smooth
+        target[rows, labels] = 1.0 - label_smoothing
     else:
-        target = np.zeros((n, k))
-        target[np.arange(n), labels] = 1.0
-    loss = float(-(target * logp).sum() / n)
-    dlogits = (softmax(logits, axis=-1) - target) / n
+        target[...] = 0.0
+        target[rows, labels] = 1.0
+    tmp = ws.get("xent_tmp", logits.shape, logits.dtype)
+    np.multiply(target, logp, out=tmp)
+    loss = float(-tmp.sum() / n)
+    # softmax = exp(z) / exp(z).sum(); dlogits = (softmax - target) / n.
+    # dlogits is the one fresh allocation per call: callers may hold it
+    # across later loss calls (numeric-gradient checks do), so it must not
+    # alias the pooled scratch.
+    dlogits = np.divide(e, esum)
+    np.subtract(dlogits, target, out=dlogits)
+    dlogits /= n
     return loss, dlogits
 
 

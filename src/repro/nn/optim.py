@@ -29,6 +29,12 @@ class SGD:
     single optimizer instance follows the model through structural
     transformations as long as :meth:`reset` is called after a transform (the
     momentum buffers are keyed by parameter name and validated by shape).
+
+    The step is allocation-free at steady state: per-parameter scratch and
+    velocity buffers are allocated once (keyed by name, revalidated by
+    shape) and every update lands through in-place ufuncs whose operand
+    order reproduces the naive ``p -= lr * (momentum * v + g + wd * p)``
+    expression bit for bit.
     """
 
     def __init__(self, lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
@@ -38,25 +44,35 @@ class SGD:
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity: dict[str, np.ndarray] = {}
+        self._scratch: dict[str, np.ndarray] = {}
 
     def reset(self) -> None:
         """Drop momentum state (call after a structural transform)."""
         self._velocity.clear()
+        self._scratch.clear()
 
     def step(self, params: Mapping[str, np.ndarray], grads: Mapping[str, np.ndarray]) -> None:
         """Apply one update in place."""
         for name, p in params.items():
             g = grads[name]
+            s = self._scratch.get(name)
+            if s is None or s.shape != p.shape or s.dtype != p.dtype:
+                s = self._scratch[name] = np.empty_like(p)
             if self.weight_decay:
-                g = g + self.weight_decay * p
+                # wd * p + g == g + wd * p (addition commutes exactly)
+                np.multiply(p, self.weight_decay, out=s)
+                s += g
+                g = s
             if self.momentum:
                 v = self._velocity.get(name)
                 if v is None or v.shape != p.shape:
                     v = np.zeros_like(p)
-                v = self.momentum * v + g
-                self._velocity[name] = v
+                    self._velocity[name] = v
+                v *= self.momentum
+                v += g
                 g = v
-            p -= self.lr * g
+            np.multiply(g, self.lr, out=s)  # aliasing-safe when g is s
+            p -= s
 
 
 class ServerSGD:

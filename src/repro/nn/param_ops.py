@@ -82,6 +82,12 @@ def tree_average(
 
     Weights are normalized internally; with no weights, the plain mean is
     returned.  Raises on an empty input.
+
+    Accumulation is in place: one output tree plus one scratch tensor per
+    key, instead of a fresh intermediate tree per contributor (the old
+    ``tree_axpy`` chain).  The per-element operation order is unchanged —
+    each contributor adds ``weight * value`` in input order — so results
+    are bit-identical to the chained form.
     """
     trees = list(trees)
     if not trees:
@@ -99,8 +105,17 @@ def tree_average(
         raise ValueError("aggregation weights sum to zero")
     w = w / total
     out = tree_scale(trees[0], float(w[0]))
+    scratch: dict[str, np.ndarray] = {}
     for wi, tree in zip(w[1:], trees[1:]):
-        out = tree_axpy(out, float(wi), tree)
+        _check_keys(out, tree)
+        alpha = float(wi)
+        for k, acc in out.items():
+            s = scratch.get(k)
+            if s is None:
+                s = scratch[k] = np.empty_like(acc)
+            # alpha * x == x * alpha; acc += t == acc + t elementwise.
+            np.multiply(tree[k], alpha, out=s)
+            acc += s
     return out
 
 

@@ -6,6 +6,12 @@ lineage ids, transform history).  ``load_model`` reconstructs the exact
 architecture — including widened widths and inserted identity cells — and
 restores the weights, so a FedTrans model suite can be persisted mid-run
 and resumed or deployed later.
+
+Dtype: tensors are stored at the run's compute dtype; loading rebuilds the
+model at the *current* process-wide dtype (:mod:`repro.nn.compute`) and
+writes the stored values into it, casting on assignment.  Reloading under
+the dtype the checkpoint was saved at is lossless; crossing dtypes rounds
+(float64 -> float32) or merely widens (float32 -> float64) the weights.
 """
 
 from __future__ import annotations

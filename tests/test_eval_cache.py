@@ -438,10 +438,14 @@ class TestConfigValidation:
             selector = "uniform"
             pacing = "static"
             straggler = "drop"
+            dtype = None
 
         assert _coordinator_overrides(Args()) == {"eval_cache": False}
         Args.eval_cache = True
         assert _coordinator_overrides(Args()) == {}
+        Args.dtype = "float32"
+        assert _coordinator_overrides(Args()) == {"compute_dtype": "float32"}
+        Args.dtype = None
 
 
 # ----------------------------------------------------------------------
@@ -514,9 +518,13 @@ class TestDeltaSnapshots:
                 ex.train_round(step, [TrainItem(some_id, 0, 0)], dict(models))
             assert ex.full_publish_count >= 2  # initial + periodic compaction
             assert len(ex._chain) <= FULL_SNAPSHOT_EVERY + 1
-            # the retained chain is exactly the files on disk
-            import os
+            # the retained chain is exactly the live shared-memory segments
+            from repro.fl.shm import segment_exists
 
-            assert all(os.path.exists(p) for _, _, p in ex._chain)
+            assert all(segment_exists(name) for _, _, name in ex._chain)
+            assert set(ex._segments) == {name for _, _, name in ex._chain}
+            retained = [name for _, _, name in ex._chain]
         finally:
             ex.close()
+        # close() unlinks every owned segment — nothing may leak.
+        assert not any(segment_exists(name) for name in retained)
