@@ -1,0 +1,41 @@
+"""repro-lint: static contract checking + a runtime sanitizer mode.
+
+The engine rests on a handful of invariants that no type checker can see —
+per-seed determinism through ``SeedSequence`` spawn keys, the
+``bump_version()`` invalidation contract behind every version-keyed cache,
+the pooled-``Workspace`` allocation discipline of the hot path, and the
+shared-memory segment lifecycle.  This package enforces them twice over:
+
+* **Statically** — :mod:`repro.analysis.lint` is an AST-visitor rule
+  engine (``python -m repro.analysis.lint src benchmarks examples``)
+  whose rules (:data:`repro.analysis.rules.RULES`, ids ``RL001``-``RL007``)
+  each guard one named contract and are individually suppressible with a
+  ``# repro-lint: disable=RL00X <reason>`` pragma.  See ``CONTRACTS.md``
+  at the repo root for the rule-by-rule rationale.
+* **Dynamically** — :mod:`repro.analysis.sanitize` (``REPRO_SANITIZE=1``
+  or ``--sanitize``) flips published model tensors read-only for the
+  duration of each executor round (write-after-publish races raise
+  instead of corrupting a running round) and cross-checks every model's
+  ``version`` counter against a content fingerprint at cache-read and
+  snapshot-publish time (a mutation that skipped ``bump_version()``
+  raises :class:`~repro.analysis.sanitize.SanitizerError` instead of
+  silently serving stale caches).
+
+The static rules catch the *pattern*; the sanitizer catches what the AST
+cannot see (writes through aliased references, third-party strategies,
+dynamically constructed code paths).
+"""
+
+from .engine import FileReport, LintReport, Linter, lint_paths, lint_source
+from .rules import RULES, RULES_BY_ID, Violation
+
+__all__ = [
+    "FileReport",
+    "LintReport",
+    "Linter",
+    "lint_paths",
+    "lint_source",
+    "RULES",
+    "RULES_BY_ID",
+    "Violation",
+]

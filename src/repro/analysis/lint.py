@@ -1,0 +1,102 @@
+"""Command-line front end for repro-lint.
+
+Usage::
+
+    python -m repro.analysis.lint src benchmarks examples
+    python -m repro.analysis.lint --list-rules
+
+Exit status is 0 when the tree is clean, 1 when any violation (or
+unparseable file) is reported, 2 on usage errors.  Output is one
+``path:line:col: RLxxx name: message`` line per violation, sorted by
+file, so it drops straight into editors and CI annotations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .engine import Linter
+from .rules import RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Check the repo's engine contracts (see CONTRACTS.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to scan (directories recurse over *.py)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line; print violations only",
+    )
+    return parser
+
+
+def _list_rules() -> None:
+    for rule in RULES:
+        print(f"{rule.rule_id}  {rule.rule_name:<18} {rule.summary}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _list_rules()
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (try: src benchmarks examples)", file=sys.stderr)
+        return 2
+
+    rules = RULES
+    if args.select:
+        wanted = {r.strip() for r in args.select.split(",") if r.strip()}
+        unknown = wanted - {r.rule_id for r in RULES}
+        if unknown:
+            print(f"error: unknown rule ids: {sorted(unknown)}", file=sys.stderr)
+            return 2
+        rules = tuple(r for r in RULES if r.rule_id in wanted)
+
+    missing = [p for p in args.paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"error: no such path: {p}", file=sys.stderr)
+        return 2
+
+    report = Linter(rules=rules).lint_paths(args.paths)
+    for line in report.format_lines():
+        print(line)
+    if not args.quiet:
+        n = len(report.violations)
+        print(
+            f"repro-lint: {report.files_scanned} files, "
+            f"{n} violation{'s' if n != 1 else ''}, "
+            f"{report.suppressed} suppressed",
+            file=sys.stderr,
+        )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

@@ -68,6 +68,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    default=True,
                    help="disable the incremental evaluation cache (bit-identical "
                         "either way; on by default)")
+    p.add_argument("--sanitize", action="store_true", default=False,
+                   help="enable the runtime sanitizer (repro.analysis.sanitize; "
+                        "equivalent to REPRO_SANITIZE=1): freeze published "
+                        "models read-only during rounds and cross-check model "
+                        "versions against content fingerprints.  Requires the "
+                        "eval cache; incompatible with --no-eval-cache")
     p.add_argument("--selector", choices=SELECTOR_POLICIES, default="uniform",
                    help="client selection policy (uniform reproduces the "
                         "pre-subsystem behavior bit-for-bit)")
@@ -92,6 +98,16 @@ def _coordinator_overrides(args) -> dict:
         over["compute_dtype"] = args.dtype
     if not args.eval_cache:
         over["eval_cache"] = False
+    if args.sanitize:
+        if not args.eval_cache:
+            # Surface the conflict as a CLI usage error instead of letting
+            # CoordinatorConfig raise mid-run with a config-level message.
+            raise SystemExit(
+                "--sanitize requires the eval cache (the missed-bump "
+                "cross-check rides the cache-read path); drop "
+                "--no-eval-cache to use it"
+            )
+        over["sanitize"] = True
     if args.workers is not None:
         if args.executor == "serial":
             raise SystemExit(

@@ -206,6 +206,7 @@ class ModelAggregator:
             self._plans[(src_id, dst_id)] = cached
         return cached
 
+    # repro: hotpath
     def _across_models(
         self,
         models: dict[str, CellModel],

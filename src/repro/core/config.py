@@ -76,7 +76,15 @@ class FedTransConfig:
         the process-wide setting (float64 unless the run changed it —
         see :mod:`repro.nn.compute`).  The whole run must use one dtype:
         the strategy applies this at construction, before any model it
-        manages is transformed.
+        manages is transformed.  Interaction with the runtime sanitizer
+        (``CoordinatorConfig.sanitize`` / ``--sanitize`` /
+        ``REPRO_SANITIZE=1``): the sanitizer's checks compare raw bytes
+        and are dtype-independent, so ``"float32"`` + sanitize is a
+        valid combination — it validates the write-after-publish and
+        version-bump invariants — but the engine's bit-identity claims
+        (golden fixtures, cross-backend digests) are stated at float64,
+        so only a float64 sanitized run also asserts those digests.
+        See ``CONTRACTS.md``.
     min_rounds_between_transforms:
         Extra cooldown after a transformation; the DoC history reset already
         enforces ``gamma + delta`` rounds, this only adds to it.

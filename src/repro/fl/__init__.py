@@ -28,7 +28,7 @@ from .scheduling import (
     make_selector,
     make_straggler,
 )
-from .selection import select_uniform
+from .scheduling.selectors import uniform_choice
 from .strategy import Strategy
 from .types import (
     ArrivalRecord,
@@ -62,7 +62,7 @@ __all__ = [
     "RunSummary",
     "iqr",
     "summarize",
-    "select_uniform",
+    "uniform_choice",
     "Strategy",
     "ArrivalRecord",
     "ClientUpdate",

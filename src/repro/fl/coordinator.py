@@ -128,10 +128,12 @@ spans 100 training rounds.
 from __future__ import annotations
 
 import inspect
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis import sanitize as _sanitize
 from ..nn.compute import COMPUTE_DTYPES, set_compute_dtype
 from ..nn.losses import accuracy
 from .async_engine import BufferedAsyncEngine
@@ -181,6 +183,18 @@ class CoordinatorConfig:
     # Incremental evaluation cache (see module docstring).  Bit-identical
     # on or off; off recomputes every deployment group every sweep.
     eval_cache: bool = True
+    # Runtime sanitizer (repro.analysis.sanitize; also enabled by the
+    # REPRO_SANITIZE=1 environment variable or the --sanitize CLI flag):
+    # published models are frozen read-only while rounds are in flight and
+    # model versions are cross-checked against content fingerprints at
+    # cache-read and snapshot-publish time.  Checks are dtype-independent,
+    # so float32 + sanitize is valid — but the engine's bit-identity
+    # claims (golden fixtures) are stated at float64, so a float32
+    # sanitized run validates the invariants without asserting the
+    # float64 golden digests.  Requires eval_cache=True: the missed-bump
+    # cross-check rides the version-keyed cache-read path, and with the
+    # cache off there is no version-trusting read for it to protect.
+    sanitize: bool = False
     # Round-execution backend: "serial" | "thread" | "process" (see module
     # docstring).  All three are bit-identical for the same seed.
     executor: str = "serial"
@@ -231,6 +245,15 @@ class CoordinatorConfig:
             raise ValueError("eval_group_clients must be >= 1")
         if not isinstance(self.eval_cache, bool):
             raise ValueError(f"eval_cache must be a bool, got {self.eval_cache!r}")
+        if not isinstance(self.sanitize, bool):
+            raise ValueError(f"sanitize must be a bool, got {self.sanitize!r}")
+        if self.sanitize and not self.eval_cache:
+            raise ValueError(
+                "sanitize=True requires eval_cache=True: the missed-bump "
+                "cross-check runs at the version-keyed cache-read path, so "
+                "with the cache off the sanitizer cannot check what it "
+                "promises to check"
+            )
         if self.compute_dtype is not None and self.compute_dtype not in COMPUTE_DTYPES:
             raise ValueError(
                 f"compute_dtype must be one of {COMPUTE_DTYPES} or None "
@@ -285,6 +308,13 @@ class Coordinator:
         # (None = inherit).  The process executor reads the resolved value
         # when its pool starts, so workers always match the coordinator.
         set_compute_dtype(config.compute_dtype)
+        if config.sanitize:
+            # Enable-only: sanitize=False must not switch off a sanitizer
+            # turned on via REPRO_SANITIZE=1.  The env var is set too so
+            # spawn-started pool workers (which re-read the environment)
+            # inherit the setting; fork workers inherit the module flag.
+            _sanitize.set_sanitizer(True)
+            os.environ["REPRO_SANITIZE"] = "1"
         self.strategy = strategy
         self.clients = clients
         self.config = config
@@ -321,6 +351,11 @@ class Coordinator:
         # model version, chunk).  Both evict to the latest sweep's keys.
         self._eval_acc_cache: dict[tuple, np.ndarray] = {}
         self._eval_logits_cache: dict[tuple, np.ndarray] = {}
+        # Sanitizer cross-check at the cache-read boundary (no-op unless
+        # the sanitizer is on): both caches trust model.version, so a
+        # model whose bytes moved without a bump must raise here rather
+        # than silently serve a stale entry.
+        self._version_watch = _sanitize.VersionWatch()
 
     def close(self) -> None:
         """Release executor resources (pools recreate lazily if reused)."""
@@ -518,6 +553,7 @@ class Coordinator:
         :func:`~repro.fl.executor._eval_task`'s arithmetic operation for
         operation, keeping cache-on and cache-off sweeps bit-identical.
         """
+        self._version_watch.check_all(models, where="eval cache read")
         cached_clients = 0
         acc_touched: set[tuple] = set()
         logit_touched: set[tuple] = set()

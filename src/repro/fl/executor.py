@@ -66,6 +66,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis import sanitize as _sanitize
 from ..nn.compute import compute_dtype_name, set_compute_dtype
 from ..nn.losses import accuracy
 from ..nn.model import CellModel
@@ -301,21 +302,31 @@ class RoundExecutor(ABC):
 
 
 class SerialExecutor(RoundExecutor):
-    """The reference backend: one in-process loop (previous behavior)."""
+    """The reference backend: one in-process loop (previous behavior).
+
+    Round bodies run under :func:`repro.analysis.sanitize.published` (a
+    no-op unless the sanitizer is on): while a round is in flight the
+    server models are published and must not be written — work items see
+    clones or read-only views, and a write from anywhere else is exactly
+    the race the guard exists to catch.
+    """
 
     backend = "serial"
 
     def train_round(self, round_idx, items, models):
-        return [
-            _train_item(models, self.clients_by_id, self.trainer, self.seed, round_idx, it)
-            for it in items
-        ]
+        with _sanitize.published(models):
+            return [
+                _train_item(models, self.clients_by_id, self.trainer, self.seed, round_idx, it)
+                for it in items
+            ]
 
     def eval_round(self, tasks, models, batch_size):
-        return [_eval_task(models, self.clients_by_id, t, batch_size) for t in tasks]
+        with _sanitize.published(models):
+            return [_eval_task(models, self.clients_by_id, t, batch_size) for t in tasks]
 
     def logits_round(self, tasks, models, batch_size):
-        return [_logits_task(models, self.clients_by_id, t, batch_size) for t in tasks]
+        with _sanitize.published(models):
+            return [_logits_task(models, self.clients_by_id, t, batch_size) for t in tasks]
 
 
 class ThreadPoolRoundExecutor(RoundExecutor):
@@ -335,40 +346,44 @@ class ThreadPoolRoundExecutor(RoundExecutor):
 
     def train_round(self, round_idx, items, models):
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(
-                _train_item, models, self.clients_by_id, self.trainer, self.seed, round_idx, it
-            )
-            for it in items
-        ]
-        return [f.result() for f in futures]
+        with _sanitize.published(models):
+            futures = [
+                pool.submit(
+                    _train_item, models, self.clients_by_id, self.trainer, self.seed, round_idx, it
+                )
+                for it in items
+            ]
+            return [f.result() for f in futures]
 
     def eval_round(self, tasks, models, batch_size):
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(_eval_task, models, self.clients_by_id, t, batch_size) for t in tasks
-        ]
-        return [f.result() for f in futures]
+        with _sanitize.published(models):
+            futures = [
+                pool.submit(_eval_task, models, self.clients_by_id, t, batch_size) for t in tasks
+            ]
+            return [f.result() for f in futures]
 
     def logits_round(self, tasks, models, batch_size):
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(_logits_task, models, self.clients_by_id, t, batch_size)
-            for t in tasks
-        ]
-        return [f.result() for f in futures]
+        with _sanitize.published(models):
+            futures = [
+                pool.submit(_logits_task, models, self.clients_by_id, t, batch_size)
+                for t in tasks
+            ]
+            return [f.result() for f in futures]
 
     def eval_and_logits_round(self, eval_tasks, logits_tasks, models, batch_size):
         pool = self._ensure_pool()
-        efs = [
-            pool.submit(_eval_task, models, self.clients_by_id, t, batch_size)
-            for t in eval_tasks
-        ]
-        lfs = [
-            pool.submit(_logits_task, models, self.clients_by_id, t, batch_size)
-            for t in logits_tasks
-        ]
-        return [f.result() for f in efs], [f.result() for f in lfs]
+        with _sanitize.published(models):
+            efs = [
+                pool.submit(_eval_task, models, self.clients_by_id, t, batch_size)
+                for t in eval_tasks
+            ]
+            lfs = [
+                pool.submit(_logits_task, models, self.clients_by_id, t, batch_size)
+                for t in logits_tasks
+            ]
+            return [f.result() for f in efs], [f.result() for f in lfs]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -518,6 +533,11 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self._finalizer = _shm.make_finalizer(self, self._segments)
         # model_id -> CellModel.version at last publish; None = never published.
         self._published_versions: dict[str, int] | None = None
+        # Sanitizer cross-check (no-op unless enabled): a model whose bytes
+        # moved but whose version did not would be silently reused by the
+        # version-compare below — exactly the bug class RL004 guards
+        # statically and this watch catches dynamically.
+        self._version_watch = _sanitize.VersionWatch()
         self._deltas_since_full = 0
         # Publish metering (public: read by benchmarks and tests).
         self.publish_count = 0
@@ -591,6 +611,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
           :meth:`_drain` — so no worker is mid-attach between publishes,
           and workers' existing mappings survive the unlink).
         """
+        self._version_watch.check_all(models, where="snapshot publish")
         versions = {mid: m.version for mid, m in models.items()}
         if versions == self._published_versions:
             self.reused_publish_count += 1
@@ -638,29 +659,33 @@ class ProcessPoolRoundExecutor(RoundExecutor):
 
     def train_round(self, round_idx, items, models):
         pool = self._ensure_pool()
-        version, chain = self._publish(models)
-        futures = [pool.submit(_proc_train, version, chain, round_idx, it) for it in items]
-        return self._drain(futures)
+        with _sanitize.published(models):
+            version, chain = self._publish(models)
+            futures = [pool.submit(_proc_train, version, chain, round_idx, it) for it in items]
+            return self._drain(futures)
 
     def eval_round(self, tasks, models, batch_size):
         pool = self._ensure_pool()
-        version, chain = self._publish(models)
-        futures = [pool.submit(_proc_eval, version, chain, t, batch_size) for t in tasks]
-        return self._drain(futures)
+        with _sanitize.published(models):
+            version, chain = self._publish(models)
+            futures = [pool.submit(_proc_eval, version, chain, t, batch_size) for t in tasks]
+            return self._drain(futures)
 
     def logits_round(self, tasks, models, batch_size):
         pool = self._ensure_pool()
-        version, chain = self._publish(models)
-        futures = [pool.submit(_proc_logits, version, chain, t, batch_size) for t in tasks]
-        return self._drain(futures)
+        with _sanitize.published(models):
+            version, chain = self._publish(models)
+            futures = [pool.submit(_proc_logits, version, chain, t, batch_size) for t in tasks]
+            return self._drain(futures)
 
     def eval_and_logits_round(self, eval_tasks, logits_tasks, models, batch_size):
         pool = self._ensure_pool()
-        version, chain = self._publish(models)  # one publish for the wave
-        efs = [pool.submit(_proc_eval, version, chain, t, batch_size) for t in eval_tasks]
-        lfs = [pool.submit(_proc_logits, version, chain, t, batch_size) for t in logits_tasks]
-        results = self._drain(efs + lfs)
-        return results[: len(efs)], results[len(efs) :]
+        with _sanitize.published(models):
+            version, chain = self._publish(models)  # one publish for the wave
+            efs = [pool.submit(_proc_eval, version, chain, t, batch_size) for t in eval_tasks]
+            lfs = [pool.submit(_proc_logits, version, chain, t, batch_size) for t in logits_tasks]
+            results = self._drain(efs + lfs)
+            return results[: len(efs)], results[len(efs) :]
 
     def close(self) -> None:
         if self._pool is not None:

@@ -51,6 +51,7 @@ from .layers import (
     ReLU,
 )
 from .attention import MultiHeadSelfAttention, PatchEmbed
+from .compute import accum_dtype
 from .init import identity_conv_kernel, identity_dense
 
 __all__ = [
@@ -103,7 +104,7 @@ class WidenMapping:
 
     def scale_for_consumer(self) -> np.ndarray:
         """Per-new-channel divisor for the consuming layer (duplication)."""
-        return self.counts[self.mapping].astype(np.float64)
+        return self.counts[self.mapping].astype(accum_dtype())
 
 
 def make_widen_mapping(

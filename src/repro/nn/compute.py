@@ -37,6 +37,8 @@ import numpy as np
 
 __all__ = [
     "COMPUTE_DTYPES",
+    "ACCUM_DTYPE",
+    "accum_dtype",
     "compute_dtype",
     "compute_dtype_name",
     "set_compute_dtype",
@@ -50,6 +52,16 @@ COMPUTE_DTYPES = ("float32", "float64")
 
 _DTYPES = {name: np.dtype(name) for name in COMPUTE_DTYPES}
 
+#: The accumulator dtype: reductions that must stay numerically stable
+#: regardless of the working precision (norms, weighted averages over
+#: many clients, Eq. 5 cross-model sums) accumulate here.  Fixed at
+#: float64 — under the default compute dtype this is the identity, and
+#: under float32 it keeps long reductions from losing low-order bits.
+#: This is the "accumulator allowlist" repro-lint's RL003 points at:
+#: kernels name their accumulation precision through :func:`accum_dtype`
+#: instead of hard-coding ``np.float64``.
+ACCUM_DTYPE: np.dtype = np.dtype("float64")
+
 _compute_dtype: np.dtype = np.dtype("float64")
 _pooling_enabled: bool = True
 
@@ -57,6 +69,11 @@ _pooling_enabled: bool = True
 def compute_dtype() -> np.dtype:
     """The process-wide dtype of every tensor the substrate creates."""
     return _compute_dtype
+
+
+def accum_dtype() -> np.dtype:
+    """The dtype for precision-critical reductions (always float64)."""
+    return ACCUM_DTYPE
 
 
 def compute_dtype_name() -> str:

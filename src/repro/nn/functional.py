@@ -200,6 +200,7 @@ def conv2d_backward(
     return dx, dw, db
 
 
+# repro: hotpath
 def relu(x: np.ndarray, ws: Workspace | None = None) -> np.ndarray:
     """Rectified linear unit."""
     if ws is None:
@@ -209,6 +210,7 @@ def relu(x: np.ndarray, ws: Workspace | None = None) -> np.ndarray:
     return out
 
 
+# repro: hotpath
 def relu_grad(
     x: np.ndarray, dout: np.ndarray, ws: Workspace | None = None
 ) -> np.ndarray:

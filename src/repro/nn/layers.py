@@ -218,6 +218,7 @@ class BatchNorm2d(Layer):
     def channels(self) -> int:
         return self.gamma.shape[0]
 
+    # repro: hotpath
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         ws = self._ws
         xhat = ws.get("bn_xhat", x.shape, x.dtype)
@@ -250,6 +251,7 @@ class BatchNorm2d(Layer):
         out += self.beta[None, :, None, None]
         return out
 
+    # repro: hotpath
     def backward(self, dout: np.ndarray) -> np.ndarray:
         assert self._cache is not None, "backward before forward"
         xhat, inv_std, train = self._cache
@@ -346,10 +348,12 @@ class ReLU(Layer):
         self._x: np.ndarray | None = None
         self._ws = Workspace()
 
+    # repro: hotpath
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         self._x = x
         return F.relu(x, self._ws)
 
+    # repro: hotpath
     def backward(self, dout: np.ndarray) -> np.ndarray:
         assert self._x is not None
         return F.relu_grad(self._x, dout, self._ws)
@@ -411,6 +415,7 @@ class MaxPool2d(_Pool2d):
         super().__init__(kernel)
         self._ws = Workspace()
 
+    # repro: hotpath
     def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
         split = self._split(x)
         n, c, oh, k, ow, _ = split.shape
@@ -425,6 +430,7 @@ class MaxPool2d(_Pool2d):
         self._cache = (x.shape, idx)
         return np.take_along_axis(flat, idx[..., None], axis=-1)[..., 0]
 
+    # repro: hotpath
     def backward(self, dout: np.ndarray) -> np.ndarray:
         x_shape, idx = self._cache
         n, c, h, w = x_shape
@@ -451,6 +457,7 @@ class GlobalAvgPool2d(Layer):
         self._shape = x.shape
         return x.mean(axis=(2, 3))
 
+    # repro: hotpath
     def backward(self, dout: np.ndarray) -> np.ndarray:
         n, c, h, w = self._shape
         dx = self._ws.get("gap_dx", (n, c, h, w), dout.dtype)

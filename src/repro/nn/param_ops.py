@@ -12,6 +12,8 @@ from collections.abc import Iterable, Mapping
 
 import numpy as np
 
+from .compute import accum_dtype
+
 ParamTree = dict[str, np.ndarray]
 
 __all__ = [
@@ -95,7 +97,7 @@ def tree_average(
     if weights is None:
         w = np.ones(len(trees))
     else:
-        w = np.asarray(list(weights), dtype=np.float64)
+        w = np.asarray(list(weights), dtype=accum_dtype())
         if len(w) != len(trees):
             raise ValueError("weights length must match number of trees")
         if np.any(w < 0):
@@ -123,7 +125,7 @@ def tree_norm(a: Mapping[str, np.ndarray]) -> float:
     """Global L2 norm across every tensor in the tree."""
     total = 0.0
     for v in a.values():
-        total += float(np.sum(v.astype(np.float64) ** 2))
+        total += float(np.sum(v.astype(accum_dtype()) ** 2))
     return float(np.sqrt(total))
 
 

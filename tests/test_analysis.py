@@ -1,0 +1,784 @@
+"""repro-lint rule engine + runtime sanitizer (repro.analysis).
+
+Static side: every rule RL001-RL007 gets a violating fixture snippet and
+its compliant rewrite (linted in-memory under a virtual path, which is
+what drives rule scoping), plus pragma suppression semantics and the
+CLI.  The whole repo tree must lint clean with zero suppressions.
+
+Dynamic side: the ``published()`` read-only guard and the
+version-vs-fingerprint cross-check, including an intentionally injected
+write-after-publish and a missed ``bump_version()`` detected on all
+three executor backends — and the golden fixture staying bit-identical
+with the sanitizer on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from textwrap import dedent
+
+import numpy as np
+import pytest
+
+from repro.analysis import RULES, RULES_BY_ID, lint_paths, lint_source, sanitize
+from repro.analysis.lint import main as lint_main
+from repro.analysis.sanitize import SanitizerError, VersionWatch, model_fingerprint
+from repro.baselines import fedavg
+from repro.fl import Coordinator, CoordinatorConfig
+from repro.fl.executor import ProcessPoolRoundExecutor
+from repro.nn import mlp
+
+from test_hotpath import GOLDEN, TRAINER, _clients, _digest, _flat_dataset, _golden_run
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_state():
+    """Never leak sanitizer state (module flag or env var) across tests."""
+    prev_enabled = sanitize.sanitizer_enabled()
+    prev_env = os.environ.get("REPRO_SANITIZE")
+    yield
+    sanitize.set_sanitizer(prev_enabled)
+    if prev_env is None:
+        os.environ.pop("REPRO_SANITIZE", None)
+    else:
+        os.environ["REPRO_SANITIZE"] = prev_env
+
+
+def _lint(src: str, rel: str = "src/repro/fl/fixture.py"):
+    return lint_source(dedent(src), rel)
+
+
+def _ids(report) -> list[str]:
+    return [v.rule_id for v in report.violations]
+
+
+# ----------------------------------------------------------------------
+# RL001 no-global-rng
+# ----------------------------------------------------------------------
+class TestRL001:
+    def test_module_level_np_random_fires(self):
+        report = _lint(
+            """
+            import numpy as np
+            noise = np.random.rand(3)
+            """
+        )
+        assert _ids(report) == ["RL001"]
+
+    def test_unseeded_default_rng_fires(self):
+        report = _lint(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        )
+        assert _ids(report) == ["RL001"]
+
+    def test_stdlib_random_fires(self):
+        report = _lint(
+            """
+            import random
+            def shuffle_clients(xs):
+                random.shuffle(xs)
+            """
+        )
+        assert _ids(report) == ["RL001"]
+
+    def test_from_import_random_fires(self):
+        report = _lint(
+            """
+            from random import shuffle
+            def shuffle_clients(xs):
+                shuffle(xs)
+            """
+        )
+        assert _ids(report) == ["RL001"]
+
+    def test_compliant_rewrite_is_quiet(self):
+        report = _lint(
+            """
+            import numpy as np
+
+            def draw(seed: int, rng: np.random.Generator) -> np.ndarray:
+                ss = np.random.SeedSequence(seed, spawn_key=(1, 2, 3))
+                local = np.random.default_rng(ss)
+                return local.normal(size=3) + rng.normal(size=3)
+            """
+        )
+        assert _ids(report) == []
+
+    def test_generator_annotation_alone_is_fine(self):
+        report = _lint(
+            """
+            import numpy as np
+
+            def f(rng: np.random.Generator) -> None:
+                rng.shuffle([1, 2])
+            """
+        )
+        assert _ids(report) == []
+
+
+# ----------------------------------------------------------------------
+# RL002 no-wallclock
+# ----------------------------------------------------------------------
+class TestRL002:
+    BAD = """
+        import time
+        def round_time():
+            return time.time()
+        """
+
+    def test_wallclock_in_fl_fires(self):
+        assert _ids(_lint(self.BAD, "src/repro/fl/pacing.py")) == ["RL002"]
+
+    def test_wallclock_in_core_fires(self):
+        assert _ids(_lint(self.BAD, "src/repro/core/doc.py")) == ["RL002"]
+
+    def test_out_of_scope_path_is_quiet(self):
+        # Benchmark harnesses may measure wall time; only fl/ + core/ ban it.
+        assert _ids(_lint(self.BAD, "benchmarks/bench_wall.py")) == []
+
+    def test_from_import_monotonic_fires(self):
+        report = _lint(
+            """
+            from time import monotonic
+            def tick():
+                return monotonic()
+            """,
+            "src/repro/fl/engine.py",
+        )
+        assert _ids(report) == ["RL002"]
+
+    def test_datetime_now_fires(self):
+        report = _lint(
+            """
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+            """,
+            "src/repro/core/log.py",
+        )
+        assert _ids(report) == ["RL002"]
+
+    def test_virtual_time_rewrite_is_quiet(self):
+        report = _lint(
+            """
+            def round_time(clock):
+                return clock.now()
+            """,
+            "src/repro/fl/pacing.py",
+        )
+        assert _ids(report) == []
+
+
+# ----------------------------------------------------------------------
+# RL003 dtype-hygiene
+# ----------------------------------------------------------------------
+class TestRL003:
+    def test_hardcoded_np_dtypes_fire(self):
+        report = _lint(
+            """
+            import numpy as np
+            def kernel(x):
+                acc = x.astype(np.float64)
+                buf = np.zeros(4, dtype=np.float32)
+                return acc, buf
+            """,
+            "src/repro/nn/kernels.py",
+        )
+        assert _ids(report) == ["RL003", "RL003"]
+
+    def test_dtype_float_keyword_fires(self):
+        report = _lint(
+            """
+            import numpy as np
+            def kernel():
+                return np.zeros(4, dtype=float)
+            """,
+            "src/repro/nn/kernels.py",
+        )
+        assert _ids(report) == ["RL003"]
+
+    def test_compute_routed_rewrite_is_quiet(self):
+        report = _lint(
+            """
+            import numpy as np
+            from repro.nn.compute import accum_dtype, compute_dtype
+            def kernel(x):
+                acc = x.astype(accum_dtype())
+                buf = np.zeros(4, dtype=compute_dtype())
+                return acc, buf
+            """,
+            "src/repro/nn/kernels.py",
+        )
+        assert _ids(report) == []
+
+    def test_outside_nn_is_quiet(self):
+        report = _lint(
+            """
+            import numpy as np
+            x = np.zeros(3, dtype=np.float64)
+            """,
+            "src/repro/fl/metrics.py",
+        )
+        assert _ids(report) == []
+
+    def test_compute_module_itself_is_exempt(self):
+        report = _lint(
+            """
+            import numpy as np
+            ACCUM = np.float64
+            """,
+            "src/repro/nn/compute.py",
+        )
+        assert _ids(report) == []
+
+
+# ----------------------------------------------------------------------
+# RL004 version-bump
+# ----------------------------------------------------------------------
+class TestRL004:
+    def test_write_without_bump_fires(self):
+        report = _lint(
+            """
+            class FooCell:
+                def reset(self):
+                    self.params()["w"][...] = 0.0
+            """,
+            "src/repro/nn/fixture.py",
+        )
+        assert _ids(report) == ["RL004"]
+
+    def test_multi_exit_flags_only_unbumped_path(self):
+        report = _lint(
+            """
+            class FooCell:
+                def scale(self, factor):
+                    live = self.params()
+                    for k in live:
+                        live[k][...] *= factor
+                    if factor == 0.0:
+                        return None
+                    self.bump_version()
+                    return self
+            """,
+            "src/repro/nn/fixture.py",
+        )
+        assert _ids(report) == ["RL004"]
+        assert len(report.violations) == 1
+        # the flagged line is the early return, not the compliant one
+        assert "return None" in dedent(
+            """
+                    if factor == 0.0:
+                        return None
+            """
+        )
+
+    def test_bump_on_every_exit_is_quiet(self):
+        report = _lint(
+            """
+            class FooCell:
+                def scale(self, factor):
+                    live = self.params()
+                    for k in live:
+                        live[k][...] *= factor
+                    self.bump_version()
+                    if factor == 0.0:
+                        return None
+                    return self
+            """,
+            "src/repro/nn/fixture.py",
+        )
+        assert _ids(report) == []
+
+    def test_raise_exits_may_skip_the_bump(self):
+        report = _lint(
+            """
+            class BarCell:
+                def set(self, tree):
+                    live = self.params()
+                    for k, v in tree.items():
+                        if k not in live:
+                            raise KeyError(k)
+                        live[k][...] = v
+                    self.bump_version()
+            """,
+            "src/repro/nn/fixture.py",
+        )
+        assert _ids(report) == []
+
+    def test_bump_only_inside_loop_is_not_enough(self):
+        # The loop may run zero times; the conservative rule wants the bump
+        # on the fall-through path.
+        report = _lint(
+            """
+            class QuxCell:
+                def jitter(self, keys):
+                    live = self.params()
+                    for k in keys:
+                        live[k][...] += 1.0
+                        self.bump_version()
+            """,
+            "src/repro/nn/fixture.py",
+        )
+        assert _ids(report) == ["RL004"]
+
+    def test_state_writes_are_tracked_too(self):
+        report = _lint(
+            """
+            class StatCell:
+                def reset_stats(self):
+                    st = self.state()
+                    st["running_mean"][...] = 0.0
+            """,
+            "src/repro/nn/fixture.py",
+        )
+        assert _ids(report) == ["RL004"]
+
+    def test_read_only_methods_are_quiet(self):
+        report = _lint(
+            """
+            class FooCell:
+                def norm(self):
+                    live = self.params()
+                    return sum(float((v ** 2).sum()) for v in live.values())
+            """,
+            "src/repro/nn/fixture.py",
+        )
+        assert _ids(report) == []
+
+    def test_non_cell_classes_are_out_of_scope(self):
+        report = _lint(
+            """
+            class Optimizer:
+                def step(self):
+                    self.params()["w"][...] = 0.0
+            """,
+            "src/repro/nn/fixture.py",
+        )
+        assert _ids(report) == []
+
+
+# ----------------------------------------------------------------------
+# RL005 hotpath-alloc
+# ----------------------------------------------------------------------
+class TestRL005:
+    def test_alloc_in_marked_function_fires(self):
+        report = _lint(
+            """
+            import numpy as np
+
+            # repro: hotpath
+            def forward(x):
+                out = np.empty(x.shape)
+                np.maximum(x, 0.0, out=out)
+                return out
+            """,
+            "src/repro/nn/kern.py",
+        )
+        assert _ids(report) == ["RL005"]
+
+    def test_unmarked_function_may_allocate(self):
+        report = _lint(
+            """
+            import numpy as np
+
+            def setup(shape):
+                return np.zeros(shape)
+            """,
+            "src/repro/nn/kern.py",
+        )
+        assert _ids(report) == []
+
+    def test_pooled_rewrite_is_quiet(self):
+        report = _lint(
+            """
+            import numpy as np
+
+            # repro: hotpath
+            def forward(x, ws):
+                out = ws.get("out", x.shape, x.dtype)
+                np.maximum(x, 0.0, out=out)
+                return out
+            """,
+            "src/repro/nn/kern.py",
+        )
+        assert _ids(report) == []
+
+    def test_marker_on_def_line_works(self):
+        report = _lint(
+            """
+            import numpy as np
+
+            def forward(x):  # repro: hotpath
+                return np.concatenate([x, x])
+            """,
+            "src/repro/nn/kern.py",
+        )
+        assert _ids(report) == ["RL005"]
+
+
+# ----------------------------------------------------------------------
+# RL006 shm-lifecycle
+# ----------------------------------------------------------------------
+class TestRL006:
+    def test_create_without_unlink_fires(self):
+        report = _lint(
+            """
+            from multiprocessing import shared_memory
+
+            class Arena:
+                def create(self, name, size):
+                    seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+                    return seg
+            """
+        )
+        assert _ids(report) == ["RL006"]
+
+    def test_unlink_in_finally_is_quiet(self):
+        report = _lint(
+            """
+            from multiprocessing import shared_memory
+
+            class Arena:
+                def run_once(self, name, size):
+                    seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+                    try:
+                        return bytes(seg.buf)
+                    finally:
+                        seg.close()
+                        seg.unlink()
+            """
+        )
+        assert _ids(report) == []
+
+    def test_finalizer_backstop_is_quiet(self):
+        report = _lint(
+            """
+            import weakref
+            from multiprocessing import shared_memory
+
+            def _unlink_all(segs):
+                for seg in segs.values():
+                    seg.close()
+                    seg.unlink()
+
+            class Arena:
+                def __init__(self):
+                    self._segs = {}
+                    self._fin = weakref.finalize(self, _unlink_all, self._segs)
+
+                def create(self, name, size):
+                    seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+                    self._segs[name] = seg
+                    return seg
+            """
+        )
+        assert _ids(report) == []
+
+    def test_attach_only_is_out_of_scope(self):
+        report = _lint(
+            """
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+            """
+        )
+        assert _ids(report) == []
+
+
+# ----------------------------------------------------------------------
+# RL007 deprecated-import
+# ----------------------------------------------------------------------
+class TestRL007:
+    def test_absolute_import_fires(self):
+        report = _lint("from repro.fl.selection import select_uniform\n")
+        assert _ids(report) == ["RL007"]
+
+    def test_from_package_alias_fires(self):
+        report = _lint("from repro.fl import selection\n")
+        assert _ids(report) == ["RL007"]
+
+    def test_relative_import_fires(self):
+        report = _lint(
+            "from .selection import select_uniform\n", "src/repro/fl/consumer.py"
+        )
+        assert _ids(report) == ["RL007"]
+
+    def test_scheduling_replacement_is_quiet(self):
+        report = _lint(
+            "from repro.fl.scheduling import ClientSelector, uniform_choice\n"
+        )
+        assert _ids(report) == []
+
+
+# ----------------------------------------------------------------------
+# pragma suppression
+# ----------------------------------------------------------------------
+class TestPragmas:
+    def test_same_line_pragma_with_reason_suppresses(self):
+        report = _lint(
+            """
+            import numpy as np
+            x = np.random.rand(3)  # repro-lint: disable=RL001 fixture noise source
+            """
+        )
+        assert _ids(report) == []
+        assert report.suppressed == 1
+
+    def test_preceding_line_pragma_suppresses(self):
+        report = _lint(
+            """
+            import numpy as np
+            # repro-lint: disable=RL001 fixture noise source
+            x = np.random.rand(3)
+            """
+        )
+        assert _ids(report) == []
+        assert report.suppressed == 1
+
+    def test_multiple_ids_in_one_pragma(self):
+        report = _lint(
+            """
+            import numpy as np
+
+            # repro: hotpath
+            def f():
+                # repro-lint: disable=RL001,RL005 fixture exercises both rules
+                return np.random.rand(3), np.empty(3)
+            """,
+            "src/repro/nn/kern.py",
+        )
+        assert _ids(report) == []
+        assert report.suppressed == 2
+
+    def test_bare_pragma_reports_rl000_and_suppresses_nothing(self):
+        report = _lint(
+            """
+            import numpy as np
+            x = np.random.rand(3)  # repro-lint: disable=RL001
+            """
+        )
+        assert sorted(_ids(report)) == ["RL000", "RL001"]
+        assert report.suppressed == 0
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        report = _lint(
+            """
+            import numpy as np
+            x = np.random.rand(3)  # repro-lint: disable=RL003 wrong rule named
+            """
+        )
+        assert _ids(report) == ["RL001"]
+        assert report.suppressed == 0
+
+
+# ----------------------------------------------------------------------
+# engine plumbing + CLI
+# ----------------------------------------------------------------------
+class TestEngineAndCli:
+    def test_rule_registry_is_complete(self):
+        ids = [r.rule_id for r in RULES]
+        assert ids == sorted(ids)
+        assert set(RULES_BY_ID) == {
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"
+        }
+        assert all(r.summary for r in RULES)
+
+    def test_syntax_error_is_reported_not_raised(self):
+        report = _lint("def broken(:\n")
+        assert [v.rule_name for v in report.violations] == ["syntax-error"]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "nn" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert lint_main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out and "bad.py:2" in out
+
+        bad.write_text("import numpy as np\nrng = np.random.default_rng(0)\n")
+        assert lint_main([str(tmp_path)]) == 0
+
+    def test_cli_select_restricts_rules(self, tmp_path):
+        f = tmp_path / "f.py"
+        f.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert lint_main([str(f)]) == 1
+        assert lint_main(["--select", "RL003", str(f)]) == 0
+        assert lint_main(["--select", "RL999", str(f)]) == 2
+
+    def test_cli_usage_errors(self, capsys):
+        assert lint_main([]) == 2
+        assert lint_main(["definitely/not/a/path.py"]) == 2
+        assert lint_main(["--list-rules"]) == 0
+        assert "RL004" in capsys.readouterr().out
+
+    def test_repo_tree_lints_clean_with_zero_suppressions(self):
+        report = lint_paths(
+            [REPO / "src", REPO / "benchmarks", REPO / "examples"]
+        )
+        assert report.format_lines() == []
+        assert report.suppressed == 0
+
+
+# ----------------------------------------------------------------------
+# runtime sanitizer: unit behavior
+# ----------------------------------------------------------------------
+def _one_model():
+    rng = np.random.default_rng(0)
+    return mlp((8,), 4, rng, width=8)
+
+
+class TestSanitizerUnits:
+    def test_published_guard_blocks_writes_and_restores(self):
+        sanitize.set_sanitizer(True)
+        m = _one_model()
+        arr = next(iter(m.params().values()))
+        with sanitize.published({m.model_id: m}):
+            with pytest.raises(ValueError, match="read-only"):
+                arr[0, 0] = 99.0
+        arr[0, 0] = 1.0  # writable again
+
+    def test_published_is_noop_when_disabled(self):
+        sanitize.set_sanitizer(False)
+        m = _one_model()
+        arr = next(iter(m.params().values()))
+        with sanitize.published({m.model_id: m}):
+            arr[0, 0] = 1.0  # allowed: sanitizer off
+
+    def test_published_nests_and_preserves_prefrozen_views(self):
+        sanitize.set_sanitizer(True)
+        m = _one_model()
+        arr = next(iter(m.params().values()))
+        arr.flags.writeable = False  # pre-frozen (like a worker shm view)
+        with sanitize.published({m.model_id: m}):
+            with sanitize.published({m.model_id: m}):
+                pass
+        assert not arr.flags.writeable  # pre-frozen stays frozen
+        arr.flags.writeable = True
+
+    def test_fingerprint_covers_params_and_state(self):
+        m = _one_model()
+        fp0 = model_fingerprint(m)
+        arr = next(iter(m.params().values()))
+        old = float(arr[0, 0])
+        arr[0, 0] = old + 1.0
+        assert model_fingerprint(m) != fp0
+        arr[0, 0] = old
+        assert model_fingerprint(m) == fp0
+
+    def test_version_watch_detects_missed_bump(self):
+        sanitize.set_sanitizer(True)
+        m = _one_model()
+        watch = VersionWatch()
+        watch.check(m)
+        next(iter(m.params().values()))[0, 0] += 1.0  # no bump_version()
+        with pytest.raises(SanitizerError, match="without bump_version"):
+            watch.check(m)
+
+    def test_version_watch_accepts_bumped_writes(self):
+        sanitize.set_sanitizer(True)
+        m = _one_model()
+        watch = VersionWatch()
+        watch.check(m)
+        m.set_params({k: v + 1.0 for k, v in m.params().items()})  # bumps
+        watch.check(m)  # no error
+
+    def test_config_requires_eval_cache(self):
+        with pytest.raises(ValueError, match="sanitize=True requires eval_cache"):
+            CoordinatorConfig(sanitize=True, eval_cache=False)
+        with pytest.raises(ValueError, match="sanitize must be a bool"):
+            CoordinatorConfig(sanitize="yes")
+
+
+# ----------------------------------------------------------------------
+# runtime sanitizer: end-to-end on every executor backend
+# ----------------------------------------------------------------------
+def _coordinator(backend: str, rounds: int = 2) -> Coordinator:
+    ds = _flat_dataset(num_clients=8)
+    clients = _clients(ds, num_slow=0)
+    model = mlp(ds.input_shape, ds.num_classes, np.random.default_rng(0), width=8)
+    over = {} if backend == "serial" else {"executor": backend, "max_workers": 2}
+    cfg = CoordinatorConfig(
+        rounds=rounds,
+        clients_per_round=4,
+        trainer=TRAINER,
+        eval_every=2,
+        seed=0,
+        sanitize=True,
+        **over,
+    )
+    return Coordinator(fedavg(model.clone(keep_id=True)), clients, cfg)
+
+
+class TestSanitizerEndToEnd:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_write_after_publish_detected(self, backend, monkeypatch):
+        """A work function that writes into a published server model raises
+        at the offending statement on shared-memory backends."""
+        import repro.fl.executor as ex_mod
+
+        orig = ex_mod._eval_task
+
+        def evil(models, clients_by_id, task, batch_size):
+            arr = next(iter(models[task.model_ids[0]].params().values()))
+            arr[0, 0] += 1.0  # the race the guard exists to catch
+            return orig(models, clients_by_id, task, batch_size)
+
+        monkeypatch.setattr(ex_mod, "_eval_task", evil)
+        coord = _coordinator(backend)
+        try:
+            with pytest.raises(ValueError, match="read-only"):
+                coord.evaluate(0, 0.0)
+        finally:
+            coord.close()
+
+    def test_write_after_publish_detected_process(self, monkeypatch):
+        """On the process backend the guard protects the coordinator-side
+        originals between publish and drain; an injected coordinator-side
+        write mid-round raises the same way."""
+        orig = ProcessPoolRoundExecutor._publish
+
+        def evil(self, models):
+            arr = next(iter(next(iter(models.values())).params().values()))
+            arr[0, 0] += 1.0
+            return orig(self, models)
+
+        monkeypatch.setattr(ProcessPoolRoundExecutor, "_publish", evil)
+        coord = _coordinator("process")
+        try:
+            with pytest.raises(ValueError, match="read-only"):
+                coord.evaluate(0, 0.0)
+        finally:
+            coord.close()
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_missed_bump_detected(self, backend):
+        """An in-place model mutation without bump_version() trips the
+        fingerprint cross-check at the next cache read on every backend."""
+        coord = _coordinator(backend)
+        try:
+            coord.evaluate(0, 0.0)
+            model = coord.strategy.model
+            next(iter(model.params().values()))[0, 0] += 1.0  # no bump
+            with pytest.raises(SanitizerError, match="without bump_version"):
+                coord.evaluate(1, 0.0)
+        finally:
+            coord.close()
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_golden_run_bit_identical_under_sanitizer(self, backend):
+        """REPRO_SANITIZE changes nothing about a clean run: the default
+        golden fixture digest is reproduced exactly, violation-free."""
+        with open(GOLDEN) as f:
+            golden = json.load(f)
+        over = {"sanitize": True}
+        if backend != "serial":
+            over.update(executor=backend, max_workers=2)
+        assert _digest(_golden_run("sync", **over)) == golden["sync"]

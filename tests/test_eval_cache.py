@@ -435,6 +435,7 @@ class TestConfigValidation:
             deadline = None
             staleness_discount = None
             eval_cache = False
+            sanitize = False
             selector = "uniform"
             pacing = "static"
             straggler = "drop"
@@ -446,6 +447,13 @@ class TestConfigValidation:
         Args.dtype = "float32"
         assert _coordinator_overrides(Args()) == {"compute_dtype": "float32"}
         Args.dtype = None
+        Args.sanitize = True
+        assert _coordinator_overrides(Args()) == {"sanitize": True}
+        Args.eval_cache = False
+        with pytest.raises(SystemExit, match="eval cache"):
+            _coordinator_overrides(Args())
+        Args.eval_cache = True
+        Args.sanitize = False
 
 
 # ----------------------------------------------------------------------

@@ -13,8 +13,8 @@ from repro.fl import (
     LocalTrainer,
     LocalTrainerConfig,
     iqr,
-    select_uniform,
     summarize,
+    uniform_choice,
 )
 from repro.nn import mlp
 
@@ -110,29 +110,30 @@ class TestSelection:
     def test_without_replacement(self, rng):
         ds = _dataset(num_clients=20)
         clients = _clients(ds)
-        chosen = select_uniform(clients, 10, rng)
+        chosen = uniform_choice(clients, 10, rng)
         ids = [c.client_id for c in chosen]
         assert len(set(ids)) == 10
 
     def test_caps_at_population(self, rng):
         ds = _dataset(num_clients=5)
-        assert len(select_uniform(_clients(ds), 50, rng)) == 5
+        assert len(uniform_choice(_clients(ds), 50, rng)) == 5
 
     def test_empty_raises(self, rng):
         with pytest.raises(ValueError):
-            select_uniform([], 3, rng)
+            uniform_choice([], 3, rng)
 
     def test_below_one_raises(self, rng):
         """Regression: num < 1 used to return an empty round silently."""
         ds = _dataset(num_clients=5)
         for bad in (0, -2):
             with pytest.raises(ValueError, match="must be >= 1"):
-                select_uniform(_clients(ds), bad, rng)
+                uniform_choice(_clients(ds), bad, rng)
 
-    def test_shim_warns_deprecated(self, rng):
-        ds = _dataset(num_clients=5)
-        with pytest.deprecated_call():
-            select_uniform(_clients(ds), 2, rng)
+    def test_deprecated_shim_removed(self):
+        """The PR 4 select_uniform shim is gone; repro-lint RL007 bans the
+        old module path from regrowing callers."""
+        with pytest.raises(ImportError):
+            from repro.fl.selection import select_uniform  # noqa: F401
 
 
 class TestCoordinator:
