@@ -1,13 +1,35 @@
-"""Checkpointing a FedTrans model suite and deploying from disk.
+"""Kill a training run mid-flight and resume it bit-identically.
 
 Run:  python examples/checkpoint_resume.py
 
-Production FL coordinators persist their model suites between rounds and
-ship individual models to devices.  This example trains briefly, saves
-every model in the suite (architecture + lineage + weights) to ``.npz``
-checkpoints, reloads them, and verifies the deployed predictions match.
+Durable runs are the point of the checkpoint subsystem: with
+``checkpoint_dir`` set, the coordinator periodically writes its *entire*
+run state — model suite (architecture, lineage, weights), optimizer and
+aggregator state, scheduling policies, RNG position, eval caches — as a
+crash-consistent checkpoint (temp file + fsync + atomic rename, manifest
+pointer moved only after the payload is durable).  ``resume=True`` picks
+the run back up from the last good checkpoint, and the contract is
+bit-identity: the resumed run's final export equals the uninterrupted
+run's, byte for byte.
+
+This example proves it the hard way.  It runs the same FedTrans workload
+three times in child processes:
+
+1. uninterrupted, as the reference;
+2. checkpointed, with ``REPRO_CKPT_CRASH_POINT=after-manifest`` — the
+   checkpoint writer's crash-injection hook — so the process SIGKILLs
+   itself the instant its first checkpoint lands (a real ``kill -9``,
+   not an exception);
+3. with ``resume=True``, which finds the last good checkpoint in the
+   config-hashed run directory and finishes the job.
+
+It then byte-compares the resumed run's exported log with the reference.
 """
 
+import json
+import os
+import subprocess
+import sys
 import tempfile
 from pathlib import Path
 
@@ -16,11 +38,19 @@ import numpy as np
 from repro.core import FedTransConfig, FedTransStrategy
 from repro.data import cifar10_like
 from repro.device import calibrate_capacities, sample_device_traces
-from repro.fl import Coordinator, CoordinatorConfig, FLClient, LocalTrainerConfig, save_log
-from repro.nn import load_model, mlp, save_model
+from repro.fl import (
+    Coordinator,
+    CoordinatorConfig,
+    FLClient,
+    LocalTrainerConfig,
+    load_checkpoint,
+    save_log,
+)
+from repro.nn import mlp
 
 
-def main() -> None:
+def build_coordinator(checkpoint_dir: str | None, resume: bool) -> Coordinator:
+    """The workload — identical in every child (same seed, same fleet)."""
     dataset = cifar10_like(scale=0.25, seed=4, image=False)
     rng = np.random.default_rng(4)
     initial = mlp(dataset.input_shape, dataset.num_classes, rng, width=16)
@@ -30,52 +60,87 @@ def main() -> None:
         initial.macs() * 16,
     )
     clients = [FLClient(c.client_id, c, t) for c, t in zip(dataset.clients, traces)]
-
     strategy = FedTransStrategy(
         initial,
-        FedTransConfig(gamma=3, delta=4, beta=0.05, max_models=4),
+        FedTransConfig(gamma=2, delta=3, beta=0.05, max_models=4),
         max_capacity_macs=max(t.capacity_macs for t in traces),
     )
-    log = Coordinator(
+    extra = (
+        dict(checkpoint_every=5, checkpoint_dir=checkpoint_dir, resume=resume)
+        if checkpoint_dir
+        else {}
+    )
+    return Coordinator(
         strategy,
         clients,
         CoordinatorConfig(
-            rounds=60,
+            rounds=20,
             clients_per_round=8,
-            trainer=LocalTrainerConfig(batch_size=10, local_steps=10, lr=0.15),
-            eval_every=20,
+            trainer=LocalTrainerConfig(batch_size=10, local_steps=5, lr=0.15),
+            eval_every=5,
             seed=4,
+            **extra,
         ),
-    ).run()
-    print(strategy.suite_summary())
+    )
 
+
+def worker(checkpoint_dir: str, out_path: str) -> None:
+    """Child-process entry: run (or resume) the workload, export the log."""
+    coord = build_coordinator(checkpoint_dir or None, resume=bool(checkpoint_dir))
+    log = coord.run()
+    save_log(log, Path(out_path))
+
+
+def run_child(checkpoint_dir: str, out_path: str, crash_point: str | None = None):
+    env = dict(os.environ)
+    env.pop("REPRO_CKPT_CRASH_POINT", None)
+    if crash_point:
+        env["REPRO_CKPT_CRASH_POINT"] = crash_point
+    return subprocess.run(
+        [sys.executable, __file__, "--worker", checkpoint_dir, out_path],
+        env=env,
+        timeout=1800,
+    )
+
+
+def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         out = Path(tmp)
-        # 1. Persist the whole suite + the run log.
-        for mid, model in strategy.models().items():
-            save_model(model, out / f"{mid}.npz")
-        save_log(log, out / "run_log.json")
-        print(f"\nsaved {len(strategy.models())} checkpoints + run log to {out}")
+        run_root = out / "runs"
 
-        # 2. Deploy from disk: reload each client's model and verify the
-        #    predictions are bit-identical to the in-memory suite.
-        mismatches = 0
-        for client in clients[:10]:
-            mid = strategy.eval_model_for(client)
-            reloaded = load_model(out / f"{mid}.npz")
-            a = strategy.models()[mid].predict(client.data.x_test)
-            b = reloaded.predict(client.data.x_test)
-            if not np.allclose(a, b):
-                mismatches += 1
-        print(f"deployment check on 10 clients: {10 - mismatches}/10 exact matches")
+        print("[1/3] reference run (uninterrupted)...")
+        proc = run_child("", str(out / "ref.json"))
+        assert proc.returncode == 0
 
-        # 3. Lineage survives: transformation history is in the checkpoint.
-        largest_id = max(strategy.models(), key=lambda m: strategy.models()[m].macs())
-        reloaded = load_model(out / f"{largest_id}.npz")
-        print(f"\n{largest_id} transform history (from checkpoint):")
-        for record in reloaded.history:
-            print(f"  round {record.round:>3}: {record.op} @ {record.cell_id}")
+        print("[2/3] checkpointed run, SIGKILLed at its first checkpoint...")
+        proc = run_child(str(run_root), str(out / "crashed.json"),
+                         crash_point="after-manifest")
+        assert proc.returncode == -9, "expected the child to SIGKILL itself"
+        (run_dir,) = [p for p in run_root.iterdir() if p.is_dir()]
+        found = load_checkpoint(run_dir)
+        print(f"      killed; last good checkpoint: round {found['manifest']['round']}"
+              f" in {run_dir.name}/ (completed={found['manifest']['completed']})")
+
+        print("[3/3] resuming from the last good checkpoint...")
+        proc = run_child(str(run_root), str(out / "resumed.json"))
+        assert proc.returncode == 0
+
+        ref = (out / "ref.json").read_bytes()
+        resumed = (out / "resumed.json").read_bytes()
+        identical = ref == resumed
+        print(f"\nfinal exports byte-identical: {identical} "
+              f"({len(ref)} bytes each)")
+        if not identical:
+            raise SystemExit("resume diverged from the uninterrupted run")
+
+        final = json.loads(resumed)
+        print(f"resumed run: {len(final['rounds'])} rounds, "
+              f"{final['evals'][-1]['mean_accuracy']:.3f} final mean accuracy, "
+              f"{final['rounds'][-1]['num_models']} models in the suite")
 
 
 if __name__ == "__main__":
-    main()
+    if len(sys.argv) == 4 and sys.argv[1] == "--worker":
+        worker(sys.argv[2], sys.argv[3])
+    else:
+        main()

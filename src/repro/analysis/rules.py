@@ -724,6 +724,138 @@ class DeprecatedImport(Rule):
         return ".".join(base + ([node.module] if node.module else []))
 
 
+# ---------------------------------------------------------------------------
+# RL008 — mutable run state must register as Stateful
+# ---------------------------------------------------------------------------
+
+
+class StatefulCoverage(Rule):
+    """Engine classes holding mutable run state must be checkpointable.
+
+    The durable-runs contract (CONTRACTS.md I9) says a checkpoint captures
+    *everything* the trajectory depends on.  That only holds if every class
+    in the engine that accumulates state across calls participates in the
+    ``Stateful`` protocol — a class that mutates ``self`` outside its
+    constructor but defines no ``state_dict``/``load_state_dict`` is state
+    a checkpoint silently drops, and the resulting resume diverges in ways
+    no test points at the culprit for.
+
+    The rule is syntactic on purpose: a top-level class in ``repro/fl/`` or
+    ``repro/core/`` whose methods (other than ``__init__`` /
+    ``__post_init__``) assign to ``self``-rooted targets or call mutating
+    container methods on them must define **both** protocol methods *in its
+    own class body* (the Stateful docstring's registration convention —
+    inheriting a parent's payload silently misses the subclass's extra
+    fields, which is exactly the bug class this rule exists to catch).
+    Derived-state classes satisfy it with explicit empty payloads (see
+    ``repro.fl.executor``), which documents the drop instead of defaulting
+    into it.
+    """
+
+    rule_id = "RL008"
+    rule_name = "stateful-coverage"
+    summary = (
+        "repro/fl + repro/core classes mutating self outside __init__ "
+        "must define state_dict() and load_state_dict() in their own body"
+    )
+
+    _MUTATORS = frozenset(
+        {
+            "append",
+            "appendleft",
+            "add",
+            "extend",
+            "update",
+            "insert",
+            "setdefault",
+            "pop",
+            "popitem",
+            "remove",
+            "discard",
+            "clear",
+        }
+    )
+    _CONSTRUCTORS = frozenset({"__init__", "__post_init__"})
+    _PROTOCOL = frozenset({"state_dict", "load_state_dict"})
+
+    def applies(self, ctx: "FileContext") -> bool:
+        return "repro/fl/" in ctx.rel or "repro/core/" in ctx.rel
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(node)
+
+    def _check_class(self, cls: ast.ClassDef) -> Iterator[Violation]:
+        defined = {
+            item.name
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if self._PROTOCOL <= defined:
+            return
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in self._CONSTRUCTORS or self._is_static(item):
+                continue
+            self_name = self._self_name(item)
+            if self_name is None:
+                continue
+            site = self._first_mutation(item, self_name)
+            if site is not None:
+                missing = sorted(self._PROTOCOL - defined)
+                yield self.violation(
+                    site,
+                    f"{cls.name}.{item.name}() mutates run state on self but "
+                    f"{cls.name} does not define {' / '.join(missing)} in its "
+                    "own class body; register it as Stateful (empty payload "
+                    "if the state is derived) so checkpoints stay complete",
+                )
+                return  # one violation per class is enough to act on
+
+    @staticmethod
+    def _is_static(fn: ast.AST) -> bool:
+        return any(
+            isinstance(d, ast.Name) and d.id == "staticmethod"
+            for d in fn.decorator_list
+        )
+
+    @staticmethod
+    def _self_name(fn: ast.AST) -> str | None:
+        args = fn.args.posonlyargs + fn.args.args
+        return args[0].arg if args else None
+
+    @classmethod
+    def _is_self_rooted(cls, node: ast.AST, self_name: str) -> bool:
+        """True when an attribute/subscript chain bottoms out at ``self.x``."""
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            inner = node.value
+            if isinstance(node, ast.Attribute) and isinstance(inner, ast.Name):
+                return inner.id == self_name
+            node = inner
+        return False
+
+    def _first_mutation(self, fn: ast.AST, self_name: str) -> ast.AST | None:
+        for node in walk_no_nested_defs(fn.body):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for tgt in targets:
+                if self._is_self_rooted(tgt, self_name):
+                    return node
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._MUTATORS
+                and self._is_self_rooted(node.func, self_name)
+            ):
+                return node
+        return None
+
+
 RULES: tuple[Rule, ...] = (
     NoGlobalRng(),
     NoWallclock(),
@@ -732,6 +864,7 @@ RULES: tuple[Rule, ...] = (
     HotpathAlloc(),
     ShmLifecycle(),
     DeprecatedImport(),
+    StatefulCoverage(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in RULES}

@@ -63,6 +63,23 @@ class SingleModelStrategy(Strategy):
     def eval_model_for(self, client: FLClient) -> str:
         return self.model.model_id
 
+    def state_dict(self) -> dict:
+        payload = super().state_dict()
+        payload["server_opt"] = (
+            self.server_opt.state_dict() if self.server_opt is not None else None
+        )
+        return payload
+
+    def load_state_dict(self, payload: dict) -> None:
+        super().load_state_dict(payload)
+        if payload["server_opt"] is not None:
+            if self.server_opt is None:
+                raise ValueError(
+                    "checkpoint carries server-optimizer state but this "
+                    "strategy was built without one"
+                )
+            self.server_opt.load_state_dict(payload["server_opt"])
+
 
 def fedavg(model: CellModel) -> SingleModelStrategy:
     """Plain FedAvg."""

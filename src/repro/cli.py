@@ -14,6 +14,12 @@ Examples::
 runs the paper's full comparison protocol (FedTrans first, then the
 baselines on its largest model).  ``--save-log`` exports the full training
 log as JSON; ``--save-models`` checkpoints the final model suite.
+
+Durable runs: ``--checkpoint-dir RUNS --checkpoint-every 10`` writes
+crash-consistent round checkpoints into a config-hashed run directory, and
+adding ``--resume`` picks a killed run back up bit-identically::
+
+    python -m repro run --checkpoint-dir runs --checkpoint-every 10 --resume
 """
 
 from __future__ import annotations
@@ -88,6 +94,18 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="evict a client's utility state after this many rounds "
                         "of inactivity (FedTrans-family strategies; default: "
                         "keep forever)")
+    p.add_argument("--checkpoint-dir", type=Path, default=None,
+                   help="run-registry root for durable runs: each run "
+                        "checkpoints into a subdirectory keyed by its config "
+                        "hash (repro.fl.registry)")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="write a crash-consistent checkpoint every N rounds "
+                        "(requires --checkpoint-dir)")
+    p.add_argument("--resume", action="store_true", default=False,
+                   help="resume from the last good checkpoint in the run's "
+                        "registry directory (requires --checkpoint-dir; a "
+                        "fresh start when none exists — safe to use "
+                        "unconditionally in restart loops)")
 
 
 def _coordinator_overrides(args) -> dict:
@@ -135,6 +153,15 @@ def _coordinator_overrides(args) -> dict:
         )
     elif args.pacing != "static" or args.straggler != "drop":
         raise SystemExit("--pacing/--straggler require --mode async")
+    if args.checkpoint_every is not None or args.resume:
+        if args.checkpoint_dir is None:
+            raise SystemExit("--checkpoint-every/--resume require --checkpoint-dir")
+    if args.checkpoint_dir is not None:
+        over["checkpoint_dir"] = str(args.checkpoint_dir)
+        if args.checkpoint_every is not None:
+            over["checkpoint_every"] = args.checkpoint_every
+        if args.resume:
+            over["resume"] = True
     return over
 
 

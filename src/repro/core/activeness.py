@@ -19,6 +19,7 @@ import numpy as np
 
 from ..nn.model import CellModel
 from ..nn.param_ops import ParamTree
+from ..stateful import Stateful, check_schema, schema_tag
 
 __all__ = ["cell_gradient_norms", "ActivenessTracker"]
 
@@ -43,8 +44,10 @@ def cell_gradient_norms(model: CellModel, grad: ParamTree) -> dict[str, float]:
     return out
 
 
-class ActivenessTracker:
+class ActivenessTracker(Stateful):
     """Sliding-window (length ``T``) average of per-cell activeness."""
+
+    schema = schema_tag("ActivenessTracker")
 
     def __init__(self, window: int):
         if window < 1:
@@ -76,3 +79,16 @@ class ActivenessTracker:
     def ready(self) -> bool:
         """True once at least one full observation exists."""
         return any(len(dq) > 0 for dq in self._history.values())
+
+    def state_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "history": {cid: list(dq) for cid, dq in self._history.items()},
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self._history = {
+            cid: deque((float(x) for x in vals), maxlen=self.window)
+            for cid, vals in payload["history"].items()
+        }

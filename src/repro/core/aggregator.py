@@ -52,6 +52,7 @@ from ..fl.types import ClientUpdate
 from ..nn.compute import Workspace
 from ..nn.model import CellModel
 from ..nn.param_ops import ParamTree, tree_average
+from ..stateful import Stateful, check_schema, schema_tag
 from .client_manager import SimilarityCache
 from .config import FedTransConfig
 
@@ -102,7 +103,7 @@ def _overlap_plan(
     return overlap, tuple(slabs)
 
 
-class ModelAggregator:
+class ModelAggregator(Stateful):
     """Implements Algorithm 1's ``UpdateWeight`` step.
 
     ``server_opt_factory`` optionally supplies a per-model server optimizer
@@ -278,3 +279,33 @@ class ModelAggregator:
                 else:
                     new_params[key] = dst_val
             dst.set_params(new_params)
+
+    # ------------------------------------------------------------------
+    schema = schema_tag("ModelAggregator")
+
+    def state_dict(self) -> dict:
+        # Overlap plans and workspace buffers are pure derived caches —
+        # rebuilt on first aggregation — so only the per-model server
+        # optimizer trajectories need to survive a restart.
+        return {
+            "schema": self.schema,
+            "server_opts": {
+                mid: opt.state_dict() for mid, opt in self._server_opts.items()
+            },
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        opts = payload["server_opts"]
+        if opts and self.server_opt_factory is None:
+            raise ValueError(
+                "checkpoint carries server-optimizer state but this aggregator "
+                "was built without a server_opt_factory"
+            )
+        self._server_opts = {}
+        for mid, opt_payload in opts.items():
+            opt = self.server_opt_factory()
+            opt.load_state_dict(opt_payload)
+            self._server_opts[mid] = opt
+        self._plans = {}
+        self._ws = Workspace()

@@ -27,18 +27,21 @@ import numpy as np
 
 from ..fl.scheduling.store import ClientStateStore
 from ..nn.model import CellModel
+from ..stateful import Stateful, check_schema, schema_tag
 from .similarity import model_similarity
 
 __all__ = ["SimilarityCache", "ClientManager"]
 
 
-class SimilarityCache:
+class SimilarityCache(Stateful):
     """Memoized ``sim(src, dst)`` lookups.
 
     Safe to key on model ids because a model's *architecture* is immutable
     after birth — transformations always clone the frontier into a new
     model rather than editing one in place.
     """
+
+    schema = schema_tag("SimilarityCache")
 
     def __init__(self) -> None:
         self._cache: dict[tuple[str, str], float] = {}
@@ -49,8 +52,18 @@ class SimilarityCache:
             self._cache[key] = model_similarity(src, dst)
         return self._cache[key]
 
+    def state_dict(self) -> dict:
+        # The cache is a pure memo over immutable architectures: every
+        # entry is recomputable from the restored model suite, so the
+        # payload is just the tag and restore starts cold.
+        return {"schema": self.schema}
 
-class ClientManager:
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self._cache = {}
+
+
+class ClientManager(Stateful):
     """Tracks per-client model utilities and samples assignments.
 
     Utilities are kept bounded: without a bound they accumulate without
@@ -207,3 +220,17 @@ class ClientManager:
         self.store.load_state_dict(payload)
         # The eviction horizon is configuration, not checkpoint payload.
         self.store.evict_after = evict_after
+
+    schema = schema_tag("ClientManager")
+
+    def state_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "store": self.store.state_dict(),
+            "sim_cache": self.sim_cache.state_dict(),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self.set_state(payload["store"])
+        self.sim_cache.load_state_dict(payload["sim_cache"])

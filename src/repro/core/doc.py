@@ -17,11 +17,15 @@ model.
 
 from __future__ import annotations
 
+from ..stateful import Stateful, check_schema, schema_tag
+
 __all__ = ["DoCTracker"]
 
 
-class DoCTracker:
+class DoCTracker(Stateful):
     """Accumulates per-round training losses and evaluates Eq. 1."""
+
+    schema = schema_tag("DoCTracker")
 
     def __init__(self, gamma: int, delta: int):
         if gamma < 1 or delta < 1:
@@ -66,3 +70,10 @@ class DoCTracker:
         """
         doc = self.value()
         return doc is not None and doc <= beta
+
+    def state_dict(self) -> dict:
+        return {"schema": self.schema, "losses": list(self._losses)}
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self._losses = [float(x) for x in payload["losses"]]

@@ -26,6 +26,8 @@ from ..fl.types import ClientUpdate, FLClient
 from ..nn.compute import set_compute_dtype
 from ..nn.model import CellModel
 from ..nn.param_ops import ParamTree
+from ..nn.serialization import model_from_state, model_state_dict
+from ..stateful import check_schema, schema_tag
 from .aggregator import ModelAggregator
 from .client_manager import ClientManager, SimilarityCache
 from .config import FedTransConfig
@@ -175,6 +177,42 @@ class FedTransStrategy(Strategy):
                 else:
                     out[k] = w * g
         return out
+
+    # ------------------------------------------------------------------
+    # durability (Stateful) — the suite grows mid-run, so the default
+    # fixed-suite restore does not apply: models are rebuilt from their
+    # serialized specs (weights, lineage, exact versions) and every
+    # component's trajectory is composed into one payload.
+    # ------------------------------------------------------------------
+    schema = schema_tag("FedTransStrategy")
+
+    def state_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "models": {
+                mid: model_state_dict(m) for mid, m in self._models.items()
+            },
+            "birth_order": list(self._birth_order),
+            "capacity": {str(cid): float(c) for cid, c in self._capacity.items()},
+            "evicted_unreported": self._evicted_unreported,
+            "client_manager": self.client_manager.state_dict(),
+            "aggregator": self.aggregator.state_dict(),
+            "transformer": self.transformer.state_dict(),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self._models = {
+            mid: model_from_state(mp) for mid, mp in payload["models"].items()
+        }
+        self._birth_order = list(payload["birth_order"])
+        self._capacity = {
+            int(cid): float(c) for cid, c in payload["capacity"].items()
+        }
+        self._evicted_unreported = int(payload["evicted_unreported"])
+        self.client_manager.load_state_dict(payload["client_manager"])
+        self.aggregator.load_state_dict(payload["aggregator"])
+        self.transformer.load_state_dict(payload["transformer"])
 
     # ------------------------------------------------------------------
     def suite_summary(self) -> str:

@@ -1,6 +1,7 @@
 """Federated-learning simulation engine: clients, strategies, coordinator."""
 
 from .async_engine import BufferedAsyncEngine, VirtualClock
+from .checkpoint import CheckpointWriter, load_checkpoint
 from .client import LocalTrainer, LocalTrainerConfig
 from .coordinator import Coordinator, CoordinatorConfig
 from .executor import (
@@ -14,8 +15,9 @@ from .executor import (
     derive_client_rng,
     make_executor,
 )
-from .export import load_log, log_to_dict, save_log
+from .export import load_log, log_from_state, log_state_dict, log_to_dict, save_log
 from .metrics import RunSummary, iqr, summarize
+from .registry import RunRegistry, run_hash
 from .scheduling import (
     PACING_POLICIES,
     SELECTOR_POLICIES,
@@ -57,8 +59,14 @@ __all__ = [
     "derive_client_rng",
     "make_executor",
     "load_log",
+    "log_from_state",
+    "log_state_dict",
     "log_to_dict",
     "save_log",
+    "CheckpointWriter",
+    "load_checkpoint",
+    "RunRegistry",
+    "run_hash",
     "RunSummary",
     "iqr",
     "summarize",

@@ -55,6 +55,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..stateful import Stateful, check_schema, schema_tag
 from .executor import RoundExecutor, TrainItem
 from .scheduling import ClientSelector, make_pacing, make_selector, make_straggler
 from .strategy import Strategy
@@ -65,12 +66,14 @@ from .types import (
     RoundRecord,
     SchedulerRecord,
     TrainingLog,
+    client_update_from_state,
+    client_update_to_state,
 )
 
 __all__ = ["VirtualClock", "BufferedAsyncEngine"]
 
 
-class VirtualClock:
+class VirtualClock(Stateful):
     """A deterministic simulated-time event queue.
 
     Events are ``(time, dispatch_seq, payload)`` triples popped in
@@ -78,6 +81,8 @@ class VirtualClock:
     bit-reproducible when two clients finish at the exact same simulated
     instant.  ``now`` only moves forward.
     """
+
+    schema = schema_tag("VirtualClock")
 
     def __init__(self) -> None:
         self._events: list[tuple[float, int, "_Pending"]] = []
@@ -97,6 +102,27 @@ class VirtualClock:
     def __len__(self) -> int:
         return len(self._events)
 
+    def state_dict(self) -> dict:
+        # Sorting is safe (and canonical): dispatch_seq is unique, so the
+        # (time, seq) prefix always decides and payloads never compare.
+        return {
+            "schema": self.schema,
+            "now": self.now,
+            "events": [
+                {"time": t, "seq": s, "pending": _pending_to_state(p)}
+                for t, s, p in sorted(self._events, key=lambda e: (e[0], e[1]))
+            ],
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self.now = float(payload["now"])
+        self._events = [
+            (float(e["time"]), int(e["seq"]), _pending_from_state(e["pending"]))
+            for e in payload["events"]
+        ]
+        heapq.heapify(self._events)
+
 
 @dataclass
 class _Pending:
@@ -113,7 +139,35 @@ class _Pending:
     updates: list[ClientUpdate] = field(default_factory=list)
 
 
-class BufferedAsyncEngine:
+def _pending_to_state(p: _Pending) -> dict:
+    return {
+        "dispatch_seq": p.dispatch_seq,
+        "client_id": p.client_id,
+        "model_ids": list(p.model_ids),
+        "dispatch_time": p.dispatch_time,
+        "finish_time": p.finish_time,
+        "version": p.version,
+        "dropped": p.dropped,
+        "downsized": p.downsized,
+        "updates": [client_update_to_state(u) for u in p.updates],
+    }
+
+
+def _pending_from_state(payload: dict) -> _Pending:
+    return _Pending(
+        dispatch_seq=int(payload["dispatch_seq"]),
+        client_id=int(payload["client_id"]),
+        model_ids=tuple(payload["model_ids"]),
+        dispatch_time=float(payload["dispatch_time"]),
+        finish_time=float(payload["finish_time"]),
+        version=int(payload["version"]),
+        dropped=bool(payload["dropped"]),
+        downsized=bool(payload["downsized"]),
+        updates=[client_update_from_state(u) for u in payload["updates"]],
+    )
+
+
+class BufferedAsyncEngine(Stateful):
     """FedBuff-style buffered aggregation over a simulated event clock.
 
     The coordinator owns the outer loop (eval cadence, convergence,
@@ -397,3 +451,41 @@ class BufferedAsyncEngine:
                 evicted=evicted,
             ),
         )
+
+    # ------------------------------------------------------------------
+    # durability (Stateful)
+    # ------------------------------------------------------------------
+    schema = schema_tag("BufferedAsyncEngine")
+
+    def state_dict(self) -> dict:
+        """Everything live between two :meth:`step` calls.
+
+        Checkpoints are taken at the wave-drain barrier (between steps), so
+        the per-step accumulators are known-zero and omitted; what must
+        survive is the in-flight work — the clock's pending events carry
+        each dispatched client's precomputed update tensors — plus the
+        counters that anchor staleness, wave seeding, and dispatch-order
+        tie-breaks.  The selector belongs to the coordinator's payload (one
+        shared instance); pacing and straggler policies are engine-owned.
+        """
+        return {
+            "schema": self.schema,
+            "clock": self.clock.state_dict(),
+            "in_flight": sorted(self._in_flight),
+            "dispatch_seq": self._dispatch_seq,
+            "wave": self._wave,
+            "version": self._version,
+            "pacing": self.pacing.state_dict(),
+            "straggler": self.straggler.state_dict(),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self.clock.load_state_dict(payload["clock"])
+        self._in_flight = {int(cid) for cid in payload["in_flight"]}
+        self._dispatch_seq = int(payload["dispatch_seq"])
+        self._wave = int(payload["wave"])
+        self._version = int(payload["version"])
+        self.pacing.load_state_dict(payload["pacing"])
+        self.straggler.load_state_dict(payload["straggler"])
+        self._models_epoch = None

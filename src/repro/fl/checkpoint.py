@@ -1,0 +1,225 @@
+"""Crash-consistent run checkpoints (payload file + manifest pointer).
+
+A checkpoint is two files in the run directory:
+
+* ``ckpt-<round>.npz`` — the run's full Stateful payload.  The nested
+  dict/list skeleton is stored as JSON (shortest-repr floats round-trip
+  exactly) with every ``numpy`` array split out as its own entry, so
+  tensors land losslessly and the rest stays human-inspectable.
+* ``MANIFEST.json`` — the durability pointer: format version, the run's
+  config hash, the ``last_good`` payload file, its round, a ``completed``
+  flag, and the sorted list of every schema tag the payload carries
+  (CONTRACTS.md I9: all registrants are enumerable from the file alone).
+
+Write order is what makes a kill at *any* instant safe (CONTRACTS.md I9):
+
+1. the payload lands through :func:`repro.atomicio.atomic_write` (temp
+   file in the destination directory, fsync, ``os.replace``, directory
+   fsync) — a crash mid-write leaves only an ignorable temp file;
+2. only after the payload is durable does the manifest move, itself
+   atomically — so ``last_good`` never points at a torn or missing file;
+3. superseded payload files are pruned only after the pointer moved.
+
+``REPRO_CKPT_CRASH_POINT`` is a test hook: naming a crash point
+(``before-payload`` / ``after-payload`` / ``after-manifest``) makes the
+writer SIGKILL its own process at that instant, which is how the
+torn-write tests exercise every window of the protocol for real instead
+of simulating it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from pathlib import Path
+
+import numpy as np
+
+from ..atomicio import atomic_write
+from ..stateful import collect_schemas
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "MANIFEST_NAME",
+    "flatten_payload",
+    "unflatten_payload",
+    "write_payload",
+    "read_payload",
+    "CheckpointWriter",
+    "load_checkpoint",
+]
+
+CHECKPOINT_FORMAT = 1
+MANIFEST_NAME = "MANIFEST.json"
+
+# Marker objects the flattener substitutes for ndarray leaves.  Payload
+# dicts never use this key themselves (Stateful payload convention).
+_ARRAY_KEY = "__array__"
+_SKELETON_KEY = "__skeleton__"
+
+# Test hook: SIGKILL this process when the writer reaches the named point.
+_CRASH_ENV = "REPRO_CKPT_CRASH_POINT"
+
+
+def _maybe_crash(point: str) -> None:
+    if os.environ.get(_CRASH_ENV) == point:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ----------------------------------------------------------------------
+# payload <-> (JSON skeleton, array table)
+# ----------------------------------------------------------------------
+def flatten_payload(payload: dict) -> tuple[dict, dict[str, np.ndarray]]:
+    """Split a nested Stateful payload into a JSON skeleton + array table.
+
+    Every ``ndarray`` leaf is replaced by ``{"__array__": "<slot>"}`` and
+    parked in the table; numpy scalars are converted to native Python so
+    the skeleton is pure JSON.  Raises on anything else non-serializable —
+    a checkpoint that cannot round-trip must fail at write time, not at
+    resume time.
+    """
+    arrays: dict[str, np.ndarray] = {}
+
+    def walk(node):
+        if isinstance(node, np.ndarray):
+            slot = f"a{len(arrays)}"
+            arrays[slot] = node
+            return {_ARRAY_KEY: slot}
+        if isinstance(node, dict):
+            out = {}
+            for k, v in node.items():
+                if not isinstance(k, str):
+                    raise TypeError(
+                        f"payload dict keys must be str (owner stringifies), "
+                        f"got {k!r}"
+                    )
+                if k == _ARRAY_KEY:
+                    raise TypeError(
+                        f"payload dicts must not use the reserved key {k!r}"
+                    )
+                out[k] = walk(v)
+            return out
+        if isinstance(node, (list, tuple)):
+            return [walk(v) for v in node]
+        if isinstance(node, bool) or node is None or isinstance(node, (int, float, str)):
+            return node
+        if isinstance(node, np.bool_):
+            return bool(node)
+        if isinstance(node, np.integer):
+            return int(node)
+        if isinstance(node, np.floating):
+            return float(node)
+        raise TypeError(
+            f"cannot checkpoint a {type(node).__name__} leaf; Stateful "
+            "payloads hold JSON scalars and numpy arrays only"
+        )
+
+    return walk(payload), arrays
+
+
+def unflatten_payload(
+    skeleton, arrays: dict[str, np.ndarray]
+):
+    """Inverse of :func:`flatten_payload`."""
+    if isinstance(skeleton, dict):
+        if set(skeleton) == {_ARRAY_KEY}:
+            return arrays[skeleton[_ARRAY_KEY]]
+        return {k: unflatten_payload(v, arrays) for k, v in skeleton.items()}
+    if isinstance(skeleton, list):
+        return [unflatten_payload(v, arrays) for v in skeleton]
+    return skeleton
+
+
+def write_payload(path: str | Path, payload: dict) -> None:
+    """Serialize one payload to a single ``.npz``, crash-consistently."""
+    skeleton, arrays = flatten_payload(payload)
+    arrays[_SKELETON_KEY] = np.frombuffer(
+        json.dumps(skeleton).encode(), dtype=np.uint8
+    )
+    with atomic_write(path) as f:
+        np.savez(f, **arrays)
+
+
+def read_payload(path: str | Path) -> dict:
+    """Read back a :func:`write_payload` file."""
+    with np.load(path) as data:
+        skeleton = json.loads(bytes(data[_SKELETON_KEY]).decode())
+        arrays = {k: data[k] for k in data.files if k != _SKELETON_KEY}
+    return unflatten_payload(skeleton, arrays)
+
+
+# ----------------------------------------------------------------------
+# writer / loader
+# ----------------------------------------------------------------------
+class CheckpointWriter:
+    """Writes round checkpoints under one run directory.
+
+    ``run_hash`` fingerprints everything trajectory-relevant (strategy,
+    config, fleet — see :mod:`repro.fl.registry`); it is stamped into the
+    manifest so a resume against a different configuration fails loudly
+    instead of silently diverging.
+    """
+
+    def __init__(self, directory: str | Path, run_hash: str):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.run_hash = run_hash
+
+    def write(self, round_idx: int, payload: dict, completed: bool) -> Path:
+        """Durably record ``payload`` as the run's last good state."""
+        name = f"ckpt-{round_idx:06d}.npz"
+        path = self.directory / name
+        _maybe_crash("before-payload")
+        write_payload(path, payload)
+        _maybe_crash("after-payload")
+        manifest = {
+            "format": CHECKPOINT_FORMAT,
+            "run_hash": self.run_hash,
+            "last_good": name,
+            "round": round_idx,
+            "completed": completed,
+            "schemas": collect_schemas(payload),
+        }
+        with atomic_write(self.directory / MANIFEST_NAME, "w", encoding="utf-8") as f:
+            json.dump(manifest, f, indent=1)
+        _maybe_crash("after-manifest")
+        # The pointer moved; superseded payloads (and any orphaned temp
+        # files from crashed writes) are dead weight.  A crash mid-prune
+        # leaves extra files, never a bad pointer.
+        for stale in self.directory.glob("ckpt-*.npz"):
+            if stale.name != name:
+                stale.unlink(missing_ok=True)
+        for tmp in self.directory.glob("*.tmp-*"):
+            tmp.unlink(missing_ok=True)
+        return path
+
+
+def load_checkpoint(
+    directory: str | Path, run_hash: str | None = None
+) -> dict | None:
+    """Load the last good checkpoint under ``directory``.
+
+    Returns ``{"manifest": ..., "payload": ...}``, or ``None`` when no
+    checkpoint has ever completed (no manifest — e.g. a run killed during
+    its very first write, which is a valid fresh-start).  Raises when the
+    manifest exists but disagrees with ``run_hash`` or its format.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        return None
+    with open(manifest_path, encoding="utf-8") as f:
+        manifest = json.load(f)
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"unsupported checkpoint format {manifest.get('format')!r}"
+        )
+    if run_hash is not None and manifest.get("run_hash") != run_hash:
+        raise ValueError(
+            "checkpoint belongs to a different run: manifest hash "
+            f"{manifest.get('run_hash')!r} != expected {run_hash!r} "
+            "(strategy, config, or fleet changed)"
+        )
+    payload = read_payload(directory / manifest["last_good"])
+    return {"manifest": manifest, "payload": payload}

@@ -123,6 +123,21 @@ reaches the record through :meth:`Strategy.scheduler_counters`.
 Note: ``convergence_patience`` is measured in *evaluations* (one every
 ``eval_every`` rounds), not in rounds — patience 10 with ``eval_every=10``
 spans 100 training rounds.
+
+Durable runs
+------------
+With ``checkpoint_dir`` set the run lives in a registry directory keyed by
+its config hash (:mod:`~repro.fl.registry`); ``checkpoint_every`` writes a
+crash-consistent checkpoint (:mod:`~repro.fl.checkpoint`) at the end of
+every N-th round, and ``resume=True`` picks the run back up from the last
+good checkpoint there.  The coordinator is itself :class:`~repro.stateful.
+Stateful`: its payload composes the strategy, the selector, the async
+engine (pending work included — checkpoints land at wave-drain barriers),
+the round RNG, the model-id counter, and both evaluation caches, so a
+resumed run is bit-identical to the uninterrupted one (CONTRACTS.md I9).
+Executor state is deliberately *absent* from the payload (executors carry
+derived runtime state only), which is what lets a run checkpointed under
+one backend resume under another.
 """
 
 from __future__ import annotations
@@ -136,7 +151,11 @@ import numpy as np
 from ..analysis import sanitize as _sanitize
 from ..nn.compute import COMPUTE_DTYPES, set_compute_dtype
 from ..nn.losses import accuracy
+from ..nn.cells import cell_id_counter, set_cell_id_counter
+from ..nn.model import model_id_counter, set_model_id_counter
+from ..stateful import Stateful, check_schema, schema_tag
 from .async_engine import BufferedAsyncEngine
+from .checkpoint import CheckpointWriter, load_checkpoint
 from .client import LocalTrainerConfig
 from .executor import (
     EvalTask,
@@ -145,6 +164,8 @@ from .executor import (
     ensemble_accuracies,
     make_executor,
 )
+from .export import log_from_state, log_state_dict
+from .registry import RunRegistry, run_hash
 from .scheduling import (
     PACING_POLICIES,
     SELECTOR_POLICIES,
@@ -229,6 +250,14 @@ class CoordinatorConfig:
     selector: str = "uniform"
     pacing: str = "static"
     straggler: str = "drop"
+    # Durable runs (module docstring).  ``checkpoint_dir`` is the registry
+    # root — the run's own directory inside it is derived from the config
+    # hash, so distinct experiments never clobber each other.  All three
+    # knobs are trajectory-neutral: they are excluded from the run hash and
+    # never change what the run computes.
+    checkpoint_every: int | None = None
+    checkpoint_dir: str | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.rounds < 1:
@@ -290,10 +319,20 @@ class CoordinatorConfig:
             raise ValueError("deadline_s must be positive")
         if not 0.0 < self.staleness_discount <= 1.0:
             raise ValueError("staleness_discount must lie in (0, 1]")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if not isinstance(self.resume, bool):
+            raise ValueError(f"resume must be a bool, got {self.resume!r}")
+        if self.checkpoint_every is not None and self.checkpoint_dir is None:
+            raise ValueError("checkpoint_every requires checkpoint_dir")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
 
 
-class Coordinator:
+class Coordinator(Stateful):
     """FL simulation loop — synchronous barrier or buffered-async rounds."""
+
+    schema = schema_tag("Coordinator")
 
     def __init__(
         self,
@@ -363,13 +402,139 @@ class Coordinator:
             self.executor.close()
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything the round loop's trajectory depends on.
+
+        Executor state is deliberately absent (executors are Stateful with
+        empty payloads — pools and snapshot chains are derived), so a
+        checkpoint taken under one backend resumes under any other.  In
+        async mode the engine payload includes pending work: checkpoints
+        are only ever taken between ``step()`` calls, a wave-drain barrier
+        where per-step accumulators are known-zero.
+        """
+        engine = self._async_engine
+        return {
+            "schema": self.schema,
+            # PCG64's state is a plain dict of JSON scalars (Python ints
+            # are arbitrary-precision, so the 128-bit words survive JSON).
+            "rng": self._rng.bit_generator.state,
+            # Both process-global id counters travel: models and cells
+            # minted after a resume (growth, deepen transforms) must get
+            # the same ids an uninterrupted run would mint.
+            "model_id_counter": model_id_counter(),
+            "cell_id_counter": cell_id_counter(),
+            "selector": self.selector.state_dict(),
+            "strategy": self.strategy.state_dict(),
+            "engine": engine.state_dict() if engine is not None else None,
+            # The eval caches must travel or a resumed sweep would recompute
+            # groups the uninterrupted run served from cache, skewing the
+            # cached/evaluated meters on the next EvalRecord.  Tuple keys
+            # become list-of-entry dicts (payload convention: str keys
+            # only); sorted so the payload is order-independent.
+            "eval_acc_cache": [
+                {
+                    "model_ids": list(mids),
+                    "versions": list(vers),
+                    "client_ids": list(cids),
+                    "accs": accs.copy(),
+                }
+                for (mids, vers, cids), accs in sorted(self._eval_acc_cache.items())
+            ],
+            "eval_logits_cache": [
+                {
+                    "model_id": mid,
+                    "version": ver,
+                    "client_ids": list(cids),
+                    "logits": logits.copy(),
+                }
+                for (mid, ver, cids), logits in sorted(
+                    self._eval_logits_cache.items()
+                )
+            ],
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        # Strategy first: it may rebuild models (FedTrans's suite grows
+        # mid-run), and the counter restamp below must land after every
+        # model exists again.  Restoring a model never consumes the
+        # counter (model_from_spec takes explicit ids), so the restored
+        # position is exactly the checkpointed one.
+        self.strategy.load_state_dict(payload["strategy"])
+        set_model_id_counter(int(payload["model_id_counter"]))
+        set_cell_id_counter(int(payload["cell_id_counter"]))
+        self._rng.bit_generator.state = payload["rng"]
+        self.selector.load_state_dict(payload["selector"])
+        engine_payload = payload["engine"]
+        if (engine_payload is None) != (self._async_engine is None):
+            raise ValueError(
+                "checkpoint mode mismatch: payload "
+                f"{'lacks' if engine_payload is None else 'carries'} async-"
+                f"engine state but the coordinator mode is {self.config.mode!r}"
+            )
+        if self._async_engine is not None:
+            self._async_engine.load_state_dict(engine_payload)
+        self._eval_acc_cache = {
+            (
+                tuple(e["model_ids"]),
+                tuple(int(v) for v in e["versions"]),
+                tuple(int(c) for c in e["client_ids"]),
+            ): np.asarray(e["accs"], dtype=float)
+            for e in payload["eval_acc_cache"]
+        }
+        self._eval_logits_cache = {
+            (
+                e["model_id"],
+                int(e["version"]),
+                tuple(int(c) for c in e["client_ids"]),
+            ): np.asarray(e["logits"])
+            for e in payload["eval_logits_cache"]
+        }
+
+    def _checkpoint_payload(self, log: TrainingLog, next_round: int) -> dict:
+        return {
+            "schema": schema_tag("RunCheckpoint"),
+            "next_round": next_round,
+            "coordinator": self.state_dict(),
+            "log": log_state_dict(log),
+        }
+
+    # ------------------------------------------------------------------
     def run(self) -> TrainingLog:
-        """Execute the configured number of rounds (or stop at convergence)."""
+        """Execute the configured number of rounds (or stop at convergence).
+
+        With ``checkpoint_dir`` set the run writes crash-consistent
+        checkpoints into its registry directory (every ``checkpoint_every``
+        rounds, plus a final ``completed`` one); with ``resume=True`` it
+        first loads the last good checkpoint there and continues from the
+        next round — or returns the finished log immediately if the run
+        already completed, which makes resume idempotent under kill loops.
+        """
         cfg = self.config
         log = TrainingLog(strategy=self.strategy.name, mode=cfg.mode)
         acc_history: list[float] = []
+        start_round = 0
+        writer: CheckpointWriter | None = None
+        if cfg.checkpoint_dir is not None:
+            run_dir = RunRegistry(cfg.checkpoint_dir).run_dir(
+                self.strategy.name, cfg, self.clients
+            )
+            rhash = run_hash(self.strategy.name, cfg, self.clients)
+            writer = CheckpointWriter(run_dir, rhash)
+            if cfg.resume:
+                found = load_checkpoint(run_dir, rhash)
+                # No checkpoint yet (e.g. killed before the first write)
+                # is a valid fresh start, not an error.
+                if found is not None:
+                    self.load_state_dict(found["payload"]["coordinator"])
+                    log = log_from_state(found["payload"]["log"])
+                    acc_history = [ev.mean_accuracy for ev in log.evals]
+                    if found["manifest"]["completed"]:
+                        self.close()
+                        return log
+                    start_round = int(found["payload"]["next_round"])
         try:
-            for round_idx in range(cfg.rounds):
+            for round_idx in range(start_round, cfg.rounds):
                 record = self._run_round(round_idx, log)
                 log.rounds.append(record)
                 log.peak_storage_bytes = max(
@@ -383,11 +548,29 @@ class Coordinator:
                         log.stopped_round = round_idx
                         log.stop_reason = "converged"
                         break
+                if (
+                    writer is not None
+                    and cfg.checkpoint_every is not None
+                    and (round_idx + 1) % cfg.checkpoint_every == 0
+                ):
+                    writer.write(
+                        round_idx,
+                        self._checkpoint_payload(log, next_round=round_idx + 1),
+                        completed=False,
+                    )
             else:
                 log.stopped_round = cfg.rounds - 1
                 log.stop_reason = "budget"
             if not log.evals or log.evals[-1].round_idx != log.stopped_round:
                 log.evals.append(self.evaluate(log.stopped_round, log.total_macs))
+            if writer is not None:
+                # Terminal checkpoint: marks the run finished so a later
+                # --resume returns this log instead of training again.
+                writer.write(
+                    log.stopped_round,
+                    self._checkpoint_payload(log, next_round=log.stopped_round + 1),
+                    completed=True,
+                )
         finally:
             self.close()
         return log

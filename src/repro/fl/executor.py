@@ -70,6 +70,7 @@ from ..analysis import sanitize as _sanitize
 from ..nn.compute import compute_dtype_name, set_compute_dtype
 from ..nn.losses import accuracy
 from ..nn.model import CellModel
+from ..stateful import Stateful, check_schema, schema_tag
 from . import shm as _shm
 from .client import LocalTrainer, LocalTrainerConfig
 from .types import ClientUpdate, FLClient
@@ -233,16 +234,28 @@ def _logits_task(
 # ----------------------------------------------------------------------
 # interface
 # ----------------------------------------------------------------------
-class RoundExecutor(ABC):
+class RoundExecutor(Stateful, ABC):
     """Executes one round's training / evaluation work items.
 
     The executor is bound to a fleet at construction (client datasets never
     change during a run); server models are passed per call because they do.
     Implementations must return results in submission order — the
     coordinator's aggregation and logs are order-sensitive.
+
+    Executors are :class:`~repro.stateful.Stateful` with empty payloads by
+    design: pools, snapshot chains, and publish meters are all *derived*
+    runtime state, rebuilt lazily from the models a resumed coordinator
+    republishes — a checkpoint carries no executor bytes, which is also
+    what lets a run resume under a different backend.
     """
 
     backend: str = "abstract"
+
+    def state_dict(self) -> dict:
+        return {"schema": schema_tag(type(self).__name__)}
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, schema_tag(type(self).__name__))
 
     def __init__(
         self,
@@ -389,6 +402,13 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def state_dict(self) -> dict:
+        # The pool is recreated lazily on first use; nothing to persist.
+        return {"schema": schema_tag(type(self).__name__)}
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, schema_tag(type(self).__name__))
 
 
 # ----------------------------------------------------------------------
@@ -692,6 +712,15 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             self._pool.shutdown(wait=True)
             self._pool = None
         self._release_arena()
+
+    def state_dict(self) -> dict:
+        # Pool, snapshot chain, published versions, and publish meters are
+        # all rebuilt from the first post-resume publish; persisting them
+        # would pin a checkpoint to this backend for no benefit.
+        return {"schema": schema_tag(type(self).__name__)}
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, schema_tag(type(self).__name__))
 
 
 _BACKENDS = {

@@ -5,6 +5,13 @@ Python types (lists, floats); ``save_log``/``load_log`` round-trip it
 through a JSON file.  The export carries everything the paper's figures
 plot: per-round costs and events, per-eval client-accuracy vectors, and the
 headline metrics.
+
+``log_state_dict``/``log_from_state`` are the *checkpoint* serialization —
+distinct from the export format on purpose: the export is a write-once
+view of a **finished** run (it drops per-round byte columns and demands at
+least one evaluation for its summary row), while a checkpoint must capture
+a mid-run log **faithfully**, field for field, so a resumed run's final
+export is bit-identical to an uninterrupted one's.
 """
 
 from __future__ import annotations
@@ -12,10 +19,14 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from .metrics import summarize
-from .types import TrainingLog
+import numpy as np
 
-__all__ = ["log_to_dict", "save_log", "load_log"]
+from ..atomicio import atomic_write
+from ..stateful import check_schema, schema_tag
+from .metrics import summarize
+from .types import ArrivalRecord, EvalRecord, RoundRecord, SchedulerRecord, TrainingLog
+
+__all__ = ["log_to_dict", "save_log", "load_log", "log_state_dict", "log_from_state"]
 
 
 def log_to_dict(log: TrainingLog) -> dict:
@@ -107,8 +118,10 @@ def log_to_dict(log: TrainingLog) -> dict:
 
 
 def save_log(log: TrainingLog, path: str | Path) -> None:
-    """Write a run's JSON export to disk."""
-    with open(path, "w") as f:
+    """Write a run's JSON export to disk (crash-consistent: temp file in
+    the destination directory + ``os.replace``, so a crash mid-save never
+    leaves a torn JSON where a complete one used to be)."""
+    with atomic_write(path, "w", encoding="utf-8") as f:
         json.dump(log_to_dict(log), f, indent=1)
 
 
@@ -119,3 +132,163 @@ def load_log(path: str | Path) -> dict:
     if data.get("format") != 1:
         raise ValueError(f"unsupported log format {data.get('format')!r}")
     return data
+
+
+# ----------------------------------------------------------------------
+# checkpoint serialization (Stateful payload, not the export format)
+# ----------------------------------------------------------------------
+LOG_SCHEMA = schema_tag("TrainingLog")
+
+
+def log_state_dict(log: TrainingLog) -> dict:
+    """Lossless Stateful payload of a (possibly mid-run) training log."""
+    return {
+        "schema": LOG_SCHEMA,
+        "strategy": log.strategy,
+        "mode": log.mode,
+        "total_macs": log.total_macs,
+        "total_bytes_down": log.total_bytes_down,
+        "total_bytes_up": log.total_bytes_up,
+        "peak_storage_bytes": log.peak_storage_bytes,
+        "stopped_round": log.stopped_round,
+        "stop_reason": log.stop_reason,
+        "dropped_updates": log.dropped_updates,
+        "dropped_macs": log.dropped_macs,
+        "downsized_updates": log.downsized_updates,
+        "evicted_clients": log.evicted_clients,
+        "rounds": [
+            {
+                "round_idx": r.round_idx,
+                "participants": list(r.participants),
+                "assignments": {str(k): list(v) for k, v in r.assignments.items()},
+                "mean_loss": r.mean_loss,
+                "macs": r.macs,
+                "bytes_down": r.bytes_down,
+                "bytes_up": r.bytes_up,
+                "round_time": r.round_time,
+                "num_models": r.num_models,
+                "events": list(r.events),
+                "arrivals": [
+                    {
+                        "dispatch_seq": a.dispatch_seq,
+                        "client_id": a.client_id,
+                        "model_ids": list(a.model_ids),
+                        "dispatch_time": a.dispatch_time,
+                        "finish_time": a.finish_time,
+                        "staleness": a.staleness,
+                        "dropped": a.dropped,
+                        "downsized": a.downsized,
+                    }
+                    for a in r.arrivals
+                ],
+                "scheduler": (
+                    {
+                        "selector": r.scheduler.selector,
+                        "pacing": r.scheduler.pacing,
+                        "straggler": r.scheduler.straggler,
+                        "requested": r.scheduler.requested,
+                        "selected": r.scheduler.selected,
+                        "effective_buffer_k": r.scheduler.effective_buffer_k,
+                        "deadline_s": r.scheduler.deadline_s,
+                        "deadline_quantiles": list(r.scheduler.deadline_quantiles),
+                        "downsized": r.scheduler.downsized,
+                        "dropped": r.scheduler.dropped,
+                        "evicted": r.scheduler.evicted,
+                    }
+                    if r.scheduler is not None
+                    else None
+                ),
+            }
+            for r in log.rounds
+        ],
+        "evals": [
+            {
+                "round_idx": e.round_idx,
+                "cumulative_macs": e.cumulative_macs,
+                "client_accuracy": np.asarray(e.client_accuracy).copy(),
+                "client_model": list(e.client_model),
+                "mean_accuracy": e.mean_accuracy,
+                "cached_clients": e.cached_clients,
+                "evaluated_clients": e.evaluated_clients,
+            }
+            for e in log.evals
+        ],
+    }
+
+
+def log_from_state(payload: dict) -> TrainingLog:
+    """Rebuild the exact :class:`TrainingLog` a checkpoint captured."""
+    check_schema(payload, LOG_SCHEMA)
+    log = TrainingLog(
+        strategy=payload["strategy"],
+        mode=payload["mode"],
+        total_macs=payload["total_macs"],
+        total_bytes_down=payload["total_bytes_down"],
+        total_bytes_up=payload["total_bytes_up"],
+        peak_storage_bytes=payload["peak_storage_bytes"],
+        stopped_round=payload["stopped_round"],
+        stop_reason=payload["stop_reason"],
+        dropped_updates=payload["dropped_updates"],
+        dropped_macs=payload["dropped_macs"],
+        downsized_updates=payload["downsized_updates"],
+        evicted_clients=payload["evicted_clients"],
+    )
+    for r in payload["rounds"]:
+        sched = r["scheduler"]
+        log.rounds.append(
+            RoundRecord(
+                round_idx=r["round_idx"],
+                participants=list(r["participants"]),
+                assignments={int(k): list(v) for k, v in r["assignments"].items()},
+                mean_loss=r["mean_loss"],
+                macs=r["macs"],
+                bytes_down=r["bytes_down"],
+                bytes_up=r["bytes_up"],
+                round_time=r["round_time"],
+                num_models=r["num_models"],
+                events=list(r["events"]),
+                arrivals=[
+                    ArrivalRecord(
+                        dispatch_seq=a["dispatch_seq"],
+                        client_id=a["client_id"],
+                        model_ids=tuple(a["model_ids"]),
+                        dispatch_time=a["dispatch_time"],
+                        finish_time=a["finish_time"],
+                        staleness=a["staleness"],
+                        dropped=a["dropped"],
+                        downsized=a["downsized"],
+                    )
+                    for a in r["arrivals"]
+                ],
+                scheduler=(
+                    SchedulerRecord(
+                        selector=sched["selector"],
+                        pacing=sched["pacing"],
+                        straggler=sched["straggler"],
+                        requested=sched["requested"],
+                        selected=sched["selected"],
+                        effective_buffer_k=sched["effective_buffer_k"],
+                        deadline_s=sched["deadline_s"],
+                        deadline_quantiles=tuple(sched["deadline_quantiles"]),
+                        downsized=sched["downsized"],
+                        dropped=sched["dropped"],
+                        evicted=sched["evicted"],
+                    )
+                    if sched is not None
+                    else None
+                ),
+            )
+        )
+    for e in payload["evals"]:
+        log.evals.append(
+            EvalRecord(
+                round_idx=e["round_idx"],
+                cumulative_macs=e["cumulative_macs"],
+                client_accuracy=np.asarray(e["client_accuracy"], dtype=float),
+                client_model=list(e["client_model"]),
+                mean_accuracy=e["mean_accuracy"],
+                cached_clients=e["cached_clients"],
+                evaluated_clients=e["evaluated_clients"],
+            )
+        )
+    return log

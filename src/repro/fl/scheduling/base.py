@@ -26,6 +26,12 @@ stay bit-identical to the inline implementation they replaced.
 Feedback flows through ``observe_*`` hooks: the engines call them with
 completed updates and arrival timings, never mid-decision, so a policy
 cannot perturb the work it is currently scheduling.
+
+**Durability contract.** Every policy is :class:`~repro.stateful.Stateful`:
+the ABCs provide schema-tagged defaults for stateless policies (uniform,
+static, drop, downsize), and stateful ones (oort utilities, adaptive /
+quantile pacing) override both methods so a resumed run replays the exact
+trajectory an uninterrupted one would have taken.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ import numpy as np
 
 from ...device.latency import client_round_time
 from ...nn.model import CellModel
+from ...stateful import Stateful, check_schema, schema_tag
 from ..client import LocalTrainerConfig
 from ..types import ClientUpdate, FLClient
 
@@ -68,10 +75,17 @@ def estimate_round_time(
     )
 
 
-class ClientSelector(ABC):
+class ClientSelector(Stateful, ABC):
     """Chooses the participants of a round (sync) or dispatch wave (async)."""
 
     name: str = "selector"
+
+    def state_dict(self) -> dict:
+        """Default for stateless selectors: a bare schema tag."""
+        return {"schema": schema_tag(type(self).__name__)}
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, schema_tag(type(self).__name__))
 
     @abstractmethod
     def select(
@@ -93,10 +107,17 @@ class ClientSelector(ABC):
         """Feedback hook: the round's completed updates (post-aggregation)."""
 
 
-class PacingPolicy(ABC):
+class PacingPolicy(Stateful, ABC):
     """Controls aggregation cadence (``buffer_k``) and per-client deadlines."""
 
     name: str = "pacing"
+
+    def state_dict(self) -> dict:
+        """Default for stateless pacing policies: a bare schema tag."""
+        return {"schema": schema_tag(type(self).__name__)}
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, schema_tag(type(self).__name__))
 
     @abstractmethod
     def buffer_k(self, step_idx: int) -> int:
@@ -124,10 +145,17 @@ class PacingPolicy(ABC):
         return ()
 
 
-class StragglerPolicy(ABC):
+class StragglerPolicy(Stateful, ABC):
     """Decides the fate of a predicted-late client at dispatch time."""
 
     name: str = "straggler"
+
+    def state_dict(self) -> dict:
+        """Default for stateless straggler policies: a bare schema tag."""
+        return {"schema": schema_tag(type(self).__name__)}
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, schema_tag(type(self).__name__))
 
     @abstractmethod
     def resolve(

@@ -20,6 +20,7 @@ from collections import deque
 
 import numpy as np
 
+from ...stateful import check_schema, schema_tag
 from ..types import FLClient
 from .base import PacingPolicy
 
@@ -96,6 +97,26 @@ class AdaptivePacing(PacingPolicy):
                 m = self.momentum
                 self._rate = rate if self._rate is None else (1 - m) * self._rate + m * rate
         self._last_arrival = now
+
+    schema = schema_tag("AdaptivePacing")
+
+    def state_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "rate": self._rate,
+            "target_span": self._target_span,
+            "last_arrival": self._last_arrival,
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self._rate = None if payload["rate"] is None else float(payload["rate"])
+        self._target_span = (
+            None if payload["target_span"] is None else float(payload["target_span"])
+        )
+        self._last_arrival = (
+            None if payload["last_arrival"] is None else float(payload["last_arrival"])
+        )
 
 
 class QuantilePacing(PacingPolicy):
@@ -179,3 +200,29 @@ class QuantilePacing(PacingPolicy):
 
     def deadline_quantiles(self) -> tuple[float, ...]:
         return tuple(d for d in self._deadline if d is not None)
+
+    schema = schema_tag("QuantilePacing")
+
+    def state_dict(self) -> dict:
+        # _class_of is configuration (a pure function of the fleet), not
+        # trajectory; the sliding duration windows and derived deadlines are.
+        return {
+            "schema": self.schema,
+            "durations": [list(d) for d in self._durations],
+            "deadline": list(self._deadline),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        durations = payload["durations"]
+        if len(durations) != self.num_classes:
+            raise ValueError(
+                f"checkpoint has {len(durations)} device classes; "
+                f"this policy was built with {self.num_classes}"
+            )
+        self._durations = [
+            deque((float(x) for x in d), maxlen=self.window) for d in durations
+        ]
+        self._deadline = [
+            None if d is None else float(d) for d in payload["deadline"]
+        ]

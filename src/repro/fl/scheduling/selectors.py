@@ -17,6 +17,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ...stateful import check_schema, schema_tag
 from ..types import ClientUpdate, FLClient
 from .base import ClientSelector
 
@@ -171,3 +172,15 @@ class OortSelector(ClientSelector):
             self._utility[u.client_id] = (
                 loss if prev is None else (1.0 - m) * prev + m * loss
             )
+
+    schema = schema_tag("OortSelector")
+
+    def state_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "utility": {str(cid): u for cid, u in self._utility.items()},
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self._utility = {int(cid): float(u) for cid, u in payload["utility"].items()}

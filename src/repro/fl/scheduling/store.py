@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import sys
 
+from ...stateful import Stateful, check_schema, schema_tag
+
 __all__ = ["ClientStateStore"]
 
 
-class ClientStateStore:
+class ClientStateStore(Stateful):
     """Lazily materialized ``client_id -> {key: float}`` state with eviction.
 
     ``evict_after=None`` disables eviction entirely (bit-identical to the
@@ -108,17 +110,24 @@ class ClientStateStore:
         return total
 
     # ------------------------------------------------------------------
+    schema = schema_tag("ClientStateStore")
+
     def state_dict(self) -> dict:
         """JSON-friendly snapshot (checkpoint/restore round-trips)."""
         return {
+            "schema": self.schema,
             "evict_after": self.evict_after,
             "round": self._round,
+            "evicted_total": self.evicted_total,
             "state": {str(cid): dict(st) for cid, st in self._state.items()},
             "last_active": {str(cid): r for cid, r in self._last_active.items()},
         }
 
     def load_state_dict(self, payload: dict) -> None:
+        if "schema" in payload:  # pre-protocol payloads carried no tag
+            check_schema(payload, self.schema)
         self.evict_after = payload.get("evict_after")
+        self.evicted_total = int(payload.get("evicted_total", 0))
         self._round = int(payload.get("round", 0))
         self._state = {int(cid): dict(st) for cid, st in payload["state"].items()}
         self._last_active = {

@@ -30,6 +30,8 @@ from dataclasses import replace
 import numpy as np
 
 from ..nn.model import CellModel
+from ..nn.serialization import model_state_dict
+from ..stateful import Stateful, check_schema, schema_tag
 from .types import ClientUpdate, FLClient
 
 __all__ = ["Strategy", "compatible_model_ids"]
@@ -53,10 +55,52 @@ def compatible_model_ids(
     return fits
 
 
-class Strategy(ABC):
+class Strategy(Stateful, ABC):
     """Server-side algorithm driving a multi- (or single-) model FL run."""
 
     name: str = "strategy"
+
+    # ------------------------------------------------------------------
+    # durability (Stateful)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Default: the whole suite — specs, tensors, and exact versions.
+
+        Sufficient for every fixed-suite strategy (the suite's *structure*
+        is reconstructed from configuration; only weights and versions are
+        trajectory).  Strategies that grow or retire models mid-run, or
+        hold extra run state (utilities, server optimizers, transformation
+        trackers), override both methods and compose this payload.
+        """
+        return {
+            "schema": schema_tag(type(self).__name__),
+            "models": {
+                mid: model_state_dict(m) for mid, m in self.models().items()
+            },
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Default: restore weights/state/versions into the live suite.
+
+        The restored checkpoint must name exactly the live model ids —
+        fixed-suite strategies rebuilt from the same configuration (with
+        the model-id counter restored) always satisfy this; a mismatch
+        means the checkpoint belongs to a different construction.
+        """
+        check_schema(payload, schema_tag(type(self).__name__))
+        live = self.models()
+        saved = payload["models"]
+        if set(saved) != set(live):
+            raise ValueError(
+                f"checkpoint models {sorted(saved)} do not match this "
+                f"strategy's suite {sorted(live)}"
+            )
+        for mid, mp in saved.items():
+            model = live[mid]
+            model.set_params({k: np.asarray(v) for k, v in mp["params"].items()})
+            if mp["state"]:
+                model.set_state({k: np.asarray(v) for k, v in mp["state"].items()})
+            model.sync_version(int(mp["version"]))
 
     @abstractmethod
     def models(self) -> dict[str, CellModel]:

@@ -18,6 +18,8 @@ __all__ = [
     "RoundRecord",
     "EvalRecord",
     "TrainingLog",
+    "client_update_to_state",
+    "client_update_from_state",
 ]
 
 
@@ -55,6 +57,46 @@ class ClientUpdate:
     bytes_down: int
     bytes_up: int
     round_time: float
+
+
+def client_update_to_state(u: ClientUpdate) -> dict:
+    """Stateful payload of one in-flight update (async checkpointing).
+
+    The async engine precomputes a dispatched client's update and parks it
+    on the virtual clock until its simulated finish time — a checkpoint
+    taken between aggregation steps must carry those pending tensor trees
+    or resumed arrivals would diverge from the uninterrupted run.
+    """
+    return {
+        "client_id": u.client_id,
+        "model_id": u.model_id,
+        "params": {k: v.copy() for k, v in u.params.items()},
+        "state": {k: v.copy() for k, v in u.state.items()},
+        "grad": {k: v.copy() for k, v in u.grad.items()},
+        "train_loss": u.train_loss,
+        "num_samples": u.num_samples,
+        "macs_spent": u.macs_spent,
+        "bytes_down": u.bytes_down,
+        "bytes_up": u.bytes_up,
+        "round_time": u.round_time,
+    }
+
+
+def client_update_from_state(payload: dict) -> ClientUpdate:
+    """Rebuild the exact :class:`ClientUpdate` a checkpoint captured."""
+    return ClientUpdate(
+        client_id=int(payload["client_id"]),
+        model_id=payload["model_id"],
+        params={k: np.asarray(v) for k, v in payload["params"].items()},
+        state={k: np.asarray(v) for k, v in payload["state"].items()},
+        grad={k: np.asarray(v) for k, v in payload["grad"].items()},
+        train_loss=float(payload["train_loss"]),
+        num_samples=int(payload["num_samples"]),
+        macs_spent=float(payload["macs_spent"]),
+        bytes_down=int(payload["bytes_down"]),
+        bytes_up=int(payload["bytes_up"]),
+        round_time=float(payload["round_time"]),
+    )
 
 
 @dataclass(frozen=True)

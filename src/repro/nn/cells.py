@@ -66,16 +66,36 @@ __all__ = [
     "TokenClassifierCell",
     "WidenMapping",
     "make_widen_mapping",
+    "cell_id_counter",
+    "set_cell_id_counter",
 ]
 
 Interface = Literal["chw", "flat", "tokens"]
 
 _id_counter = itertools.count()
+_id_counter_position = 0  # ids handed out so far (mirrors _id_counter)
 
 
 def _new_cell_id(prefix: str) -> str:
     """Monotonic, human-readable, process-unique cell identifier."""
+    global _id_counter_position
+    _id_counter_position += 1
     return f"{prefix}{next(_id_counter):04d}"
+
+
+def cell_id_counter() -> int:
+    """How many cell ids this process has handed out (checkpointing)."""
+    return _id_counter_position
+
+
+def set_cell_id_counter(position: int) -> None:
+    """Restore the id counter so cells minted after a resume (deepen
+    transforms) get the same ids an uninterrupted run would mint."""
+    global _id_counter, _id_counter_position
+    if position < 0:
+        raise ValueError(f"cell id counter must be >= 0, got {position}")
+    _id_counter = itertools.count(position)
+    _id_counter_position = position
 
 
 class WidenMapping:

@@ -43,13 +43,37 @@ from .cells import (
 from .losses import accuracy, softmax_cross_entropy
 from .param_ops import ParamTree
 
-__all__ = ["CellModel", "TransformRecord"]
+__all__ = [
+    "CellModel",
+    "TransformRecord",
+    "model_id_counter",
+    "set_model_id_counter",
+]
 
 _model_counter = itertools.count()
+_model_counter_position = 0  # ids handed out so far (mirrors _model_counter)
 
 
 def _new_model_id() -> str:
+    global _model_counter_position
+    _model_counter_position += 1
     return f"m{next(_model_counter):03d}"
+
+
+def model_id_counter() -> int:
+    """How many model ids this process has handed out (checkpointing)."""
+    return _model_counter_position
+
+
+def set_model_id_counter(position: int) -> None:
+    """Restore the id counter so future models get the same ids as an
+    uninterrupted run would (resume bit-identity requires the lineage's
+    ``m%03d`` names to continue exactly where the checkpoint stopped)."""
+    global _model_counter, _model_counter_position
+    if position < 0:
+        raise ValueError(f"model id counter must be >= 0, got {position}")
+    _model_counter = itertools.count(position)
+    _model_counter_position = position
 
 
 @dataclass

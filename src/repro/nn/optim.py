@@ -17,12 +17,13 @@ from collections.abc import Mapping
 
 import numpy as np
 
+from ..stateful import Stateful, check_schema, schema_tag
 from .param_ops import ParamTree, tree_copy
 
 __all__ = ["SGD", "ServerSGD", "Yogi"]
 
 
-class SGD:
+class SGD(Stateful):
     """Stochastic gradient descent with optional momentum and weight decay.
 
     Operates in place on the live ``params`` references a model exposes, so a
@@ -74,8 +75,23 @@ class SGD:
             np.multiply(g, self.lr, out=s)  # aliasing-safe when g is s
             p -= s
 
+    schema = schema_tag("SGD")
 
-class ServerSGD:
+    def state_dict(self) -> dict:
+        # Velocity is trajectory; scratch is write-before-read per step and
+        # is rebuilt lazily, so it is omitted (Stateful payload convention).
+        return {
+            "schema": self.schema,
+            "velocity": {k: v.copy() for k, v in self._velocity.items()},
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self._velocity = {k: np.array(v) for k, v in payload["velocity"].items()}
+        self._scratch = {}
+
+
+class ServerSGD(Stateful):
     """Plain server update: ``w <- w - lr * pseudo_grad`` (lr=1 is FedAvg)."""
 
     def __init__(self, lr: float = 1.0):
@@ -84,8 +100,16 @@ class ServerSGD:
     def step(self, weights: ParamTree, pseudo_grad: Mapping[str, np.ndarray]) -> ParamTree:
         return {k: weights[k] - self.lr * pseudo_grad[k] for k in weights}
 
+    schema = schema_tag("ServerSGD")
 
-class Yogi:
+    def state_dict(self) -> dict:
+        return {"schema": self.schema}  # stateless: lr is configuration
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+
+
+class Yogi(Stateful):
     """Yogi adaptive server optimizer (the FedYogi server step).
 
     ``v`` grows only where the squared pseudo-gradient exceeds it, which keeps
@@ -131,3 +155,22 @@ class Yogi:
         m = tree_copy(self._m) if self._m is not None else None
         v = tree_copy(self._v) if self._v is not None else None
         return m, v
+
+    schema = schema_tag("Yogi")
+
+    def state_dict(self) -> dict:
+        m, v = self.snapshot()
+        return {"schema": self.schema, "m": m, "v": v}
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self._m = (
+            {k: np.array(a) for k, a in payload["m"].items()}
+            if payload["m"] is not None
+            else None
+        )
+        self._v = (
+            {k: np.array(a) for k, a in payload["v"].items()}
+            if payload["v"] is not None
+            else None
+        )

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..atomicio import atomic_write
 from .cells import (
     Cell,
     ConvCell,
@@ -35,7 +36,14 @@ from .cells import (
 )
 from .model import CellModel, TransformRecord
 
-__all__ = ["save_model", "load_model", "model_spec", "model_from_spec"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "model_spec",
+    "model_from_spec",
+    "model_state_dict",
+    "model_from_state",
+]
 
 
 def _cell_spec(cell: Cell) -> dict:
@@ -185,13 +193,18 @@ def model_from_spec(spec: dict) -> CellModel:
 
 
 def save_model(model: CellModel, path: str | Path) -> None:
-    """Write the model (architecture + weights + BN state) to ``path``."""
+    """Write the model (architecture + weights + BN state) to ``path``.
+
+    The write is crash-consistent: bytes land in a same-directory temp
+    file and are renamed over ``path`` only once durable, so a crash
+    mid-save never leaves a torn ``.npz`` where a good one used to be.
+    """
     arrays = {f"param::{k}": v for k, v in model.params().items()}
     arrays.update({f"state::{k}": v for k, v in model.state().items()})
     arrays["__spec__"] = np.frombuffer(
         json.dumps(model_spec(model)).encode(), dtype=np.uint8
     )
-    with open(path, "wb") as f:
+    with atomic_write(path) as f:
         np.savez(f, **arrays)
 
 
@@ -209,4 +222,33 @@ def load_model(path: str | Path) -> CellModel:
     model.set_params(params)
     if state:
         model.set_state(state)
+    return model
+
+
+def model_state_dict(model: CellModel) -> dict:
+    """In-memory Stateful payload of one model: spec + tensors + version.
+
+    Unlike :func:`save_model` (a file format) this keeps the exact mutation
+    ``version``, because version-keyed consumers — the coordinator's
+    evaluation cache, the process executor's delta snapshots — must observe
+    the restored model as *the same* version the checkpoint captured, not
+    as freshly mutated.
+    """
+    return {
+        "spec": model_spec(model),
+        "params": {k: v.copy() for k, v in model.params().items()},
+        "state": {k: v.copy() for k, v in model.state().items()},
+        "version": model.version,
+    }
+
+
+def model_from_state(payload: dict) -> CellModel:
+    """Rebuild the exact model :func:`model_state_dict` captured."""
+    model = model_from_spec(payload["spec"])
+    model.set_params({k: np.asarray(v) for k, v in payload["params"].items()})
+    if payload["state"]:
+        model.set_state({k: np.asarray(v) for k, v in payload["state"].items()})
+    # set_params/set_state bumped the counter; restamp to the checkpoint's
+    # value so version-keyed caches key identically after resume.
+    model.sync_version(int(payload["version"]))
     return model

@@ -1,0 +1,104 @@
+"""The ``Stateful`` protocol: one seam for every layer's durable run state.
+
+A resumed run must be **bit-identical** to an uninterrupted one
+(CONTRACTS.md I1/I2 make that falsifiable), which is only possible if
+every layer that holds mutable run state can hand it over and take it
+back.  This module defines that seam:
+
+* :class:`Stateful` — ``state_dict() -> dict`` / ``load_state_dict(payload)``.
+  Every payload carries a versioned schema tag under ``"schema"``
+  (``"<Name>/v<N>"``, built with :func:`schema_tag`), so a checkpoint
+  written by one code revision fails loudly — not subtly — against an
+  incompatible reader.
+* :func:`check_schema` — the guard every ``load_state_dict`` runs first.
+* :func:`collect_schemas` — walks a nested payload gathering every schema
+  tag, so the checkpoint manifest can list all registrants
+  (CONTRACTS.md I9: every registrant appears in the manifest).
+
+Payload conventions (what makes a ``state_dict`` checkpointable):
+
+* JSON-serializable skeleton — dicts with ``str`` keys, lists, ``str`` /
+  ``int`` / ``float`` / ``bool`` / ``None`` leaves — plus ``numpy``
+  arrays anywhere a leaf is bulk data.  The checkpoint writer
+  (:mod:`repro.fl.checkpoint`) splits arrays out losslessly; everything
+  else round-trips through JSON, whose shortest-repr float encoding is
+  exact, so bit-identity survives the disk.
+* Scalars are native Python (``float(x)``, ``int(x)``) — never numpy
+  scalars — and integer dict keys are stringified by the owner.
+* Tuples come back as lists; a ``load_state_dict`` that cares about
+  tuple-ness converts on the way in.
+* Configuration (hyperparameters, policy knobs) is **not** payload: the
+  restored object keeps its own construction-time config, and payloads
+  carry only what training mutated.  Derived caches that a resumed run
+  rebuilds deterministically may be omitted.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Stateful", "schema_tag", "check_schema", "collect_schemas"]
+
+
+def schema_tag(name: str, version: int = 1) -> str:
+    """The canonical schema tag: ``"<name>/v<version>"``."""
+    return f"{name}/v{version}"
+
+
+def check_schema(payload: object, expected: str) -> dict:
+    """Validate a payload's schema tag; returns the payload for chaining."""
+    if not isinstance(payload, dict):
+        raise TypeError(
+            f"state payload for {expected!r} must be a dict, "
+            f"got {type(payload).__name__}"
+        )
+    got = payload.get("schema")
+    if got != expected:
+        raise ValueError(f"state schema mismatch: expected {expected!r}, got {got!r}")
+    return payload
+
+
+def collect_schemas(payload: object) -> list[str]:
+    """Every ``"schema"`` tag in a nested payload, sorted and deduplicated.
+
+    The checkpoint manifest records this list so "every Stateful
+    registrant appears in the manifest" is checkable from the file alone.
+    """
+    found: set[str] = set()
+
+    def walk(node: object) -> None:
+        if isinstance(node, dict):
+            tag = node.get("schema")
+            if isinstance(tag, str):
+                found.add(tag)
+            for v in node.values():
+                walk(v)
+        elif isinstance(node, (list, tuple)):
+            for v in node:
+                walk(v)
+
+    walk(payload)
+    return sorted(found)
+
+
+class Stateful:
+    """Base protocol for objects whose run state survives a restart.
+
+    Subclasses define both methods **in their own class body** (the
+    repro-lint RL008 rule checks exactly that: an inherited default
+    cannot capture state the subclass added) and set ``schema`` to their
+    :func:`schema_tag`.  ``state_dict`` returns a fresh payload — no live
+    references — and ``load_state_dict`` restores *exactly* the captured
+    trajectory: after a restore, every future draw, cache hit, and
+    version comparison behaves as if the run had never stopped.
+    """
+
+    schema: str = ""
+
+    def state_dict(self) -> dict:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement state_dict()"
+        )
+
+    def load_state_dict(self, payload: dict) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement load_state_dict()"
+        )

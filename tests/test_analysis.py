@@ -477,6 +477,12 @@ class TestRL006:
                     seg = shared_memory.SharedMemory(name=name, create=True, size=size)
                     self._segs[name] = seg
                     return seg
+
+                def state_dict(self):
+                    return {}
+
+                def load_state_dict(self, payload):
+                    pass
             """
         )
         assert _ids(report) == []
@@ -516,6 +522,114 @@ class TestRL007:
             "from repro.fl.scheduling import ClientSelector, uniform_choice\n"
         )
         assert _ids(report) == []
+
+
+# ----------------------------------------------------------------------
+# RL008 stateful-coverage
+# ----------------------------------------------------------------------
+class TestRL008:
+    BAD = """\
+        class Meter:
+            def __init__(self):
+                self.hits = 0
+                self.log = []
+
+            def observe(self, x):
+                self.hits += 1
+                self.log.append(x)
+    """
+
+    def test_attr_mutation_fires(self):
+        assert _ids(_lint(self.BAD)) == ["RL008"]
+
+    def test_fires_in_core_scope_too(self):
+        assert _ids(_lint(self.BAD, "src/repro/core/meter.py")) == ["RL008"]
+
+    def test_out_of_scope_is_quiet(self):
+        assert _ids(_lint(self.BAD, "src/repro/nn/meter.py")) == []
+
+    def test_container_mutator_call_fires(self):
+        report = _lint(
+            """\
+            class Buf:
+                def __init__(self):
+                    self.items = {}
+
+                def put(self, k, v):
+                    self.items.setdefault(k, []).append(v)
+            """
+        )
+        assert _ids(report) == ["RL008"]
+
+    def test_in_body_protocol_satisfies(self):
+        report = _lint(
+            """\
+            class Meter:
+                def __init__(self):
+                    self.hits = 0
+
+                def observe(self, x):
+                    self.hits += 1
+
+                def state_dict(self):
+                    return {"hits": self.hits}
+
+                def load_state_dict(self, payload):
+                    self.hits = int(payload["hits"])
+            """
+        )
+        assert _ids(report) == []
+
+    def test_inherited_protocol_does_not_satisfy(self):
+        # The registration convention requires both methods in the class's
+        # OWN body: a subclass with extra mutable fields that leans on a
+        # parent payload silently drops those fields from checkpoints.
+        report = _lint(
+            """\
+            from repro.stateful import Stateful
+
+            class Base(Stateful):
+                def state_dict(self):
+                    return {}
+
+                def load_state_dict(self, payload):
+                    pass
+
+            class Sub(Base):
+                def observe(self, x):
+                    self.extra = x
+            """
+        )
+        assert _ids(report) == ["RL008"]
+
+    def test_constructor_and_local_mutation_are_quiet(self):
+        report = _lint(
+            """\
+            class Pure:
+                def __init__(self):
+                    self.k = 1
+
+                def f(self, xs):
+                    out = []
+                    for x in xs:
+                        out.append(x * self.k)
+                    return out
+            """
+        )
+        assert _ids(report) == []
+
+    def test_one_violation_per_class(self):
+        report = _lint(
+            """\
+            class Meter:
+                def a(self):
+                    self.x = 1
+
+                def b(self):
+                    self.y = 2
+            """
+        )
+        assert _ids(report) == ["RL008"]
 
 
 # ----------------------------------------------------------------------
@@ -587,7 +701,8 @@ class TestEngineAndCli:
         ids = [r.rule_id for r in RULES]
         assert ids == sorted(ids)
         assert set(RULES_BY_ID) == {
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+            "RL008",
         }
         assert all(r.summary for r in RULES)
 

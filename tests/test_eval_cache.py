@@ -440,6 +440,9 @@ class TestConfigValidation:
             pacing = "static"
             straggler = "drop"
             dtype = None
+            checkpoint_dir = None
+            checkpoint_every = None
+            resume = False
 
         assert _coordinator_overrides(Args()) == {"eval_cache": False}
         Args.eval_cache = True
