@@ -58,6 +58,7 @@ from .fl import (
     FLClient,
     LocalTrainerConfig,
     TrainingLog,
+    recovery_summary,
     summarize,
 )
 from .nn import CellModel, mlp, small_cnn, small_resnet, vit_tiny
@@ -94,6 +95,7 @@ __all__ = [
     "FLClient",
     "LocalTrainerConfig",
     "TrainingLog",
+    "recovery_summary",
     "summarize",
     "CellModel",
     "mlp",

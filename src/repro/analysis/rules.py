@@ -856,6 +856,79 @@ class StatefulCoverage(Rule):
         return None
 
 
+# ---------------------------------------------------------------------------
+# RL009 — no silently swallowed exceptions in the engine
+# ---------------------------------------------------------------------------
+
+
+class SilentExcept(Rule):
+    """Fault handling in ``repro/fl/`` must record what it caught.
+
+    The fault-tolerance contract (CONTRACTS.md I10) meters every failure:
+    injected or real, each crash/retry/quarantine lands in the recovery
+    ledger.  A bare ``except:`` / ``except Exception:`` whose body is just
+    ``pass`` destroys that accounting — the error vanishes without a log
+    line, a counter bump, or a re-raise, which is exactly how the shm
+    cleanup path silently leaked segments before this PR.  Handlers must
+    either scope the exception type narrowly or do something observable
+    (log, meter, re-raise) in the body.
+    """
+
+    rule_id = "RL009"
+    rule_name = "silent-except"
+    summary = (
+        "no bare/broad except with a pass-only body in repro/fl/; "
+        "log, meter, or re-raise instead"
+    )
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def applies(self, ctx: "FileContext") -> bool:
+        return "repro/fl/" in ctx.rel
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._body_is_silent(node.body):
+                caught = "bare except" if node.type is None else (
+                    f"except {dotted_name(node.type) or 'Exception'}"
+                )
+                yield self.violation(
+                    node,
+                    f"{caught} with a pass-only body swallows the error "
+                    "without metering it; log it, record a fault, narrow "
+                    "the exception type, or re-raise",
+                )
+
+    def _is_broad(self, type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return True  # bare except:
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(elt) for elt in type_node.elts)
+        chain = dotted_name(type_node)
+        return chain is not None and chain.split(".")[-1] in self._BROAD
+
+    @staticmethod
+    def _body_is_silent(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and (
+                    stmt.value.value is Ellipsis
+                    or isinstance(stmt.value.value, str)  # docstring-only
+                )
+            ):
+                continue
+            return False
+        return True
+
+
 RULES: tuple[Rule, ...] = (
     NoGlobalRng(),
     NoWallclock(),
@@ -865,6 +938,7 @@ RULES: tuple[Rule, ...] = (
     ShmLifecycle(),
     DeprecatedImport(),
     StatefulCoverage(),
+    SilentExcept(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.rule_id: rule for rule in RULES}

@@ -34,7 +34,8 @@ from .bench.profiles import DATASETS, PROFILES
 from .bench.workloads import METHODS
 from .fl.executor import EXECUTOR_BACKENDS
 from .fl.scheduling import PACING_POLICIES, SELECTOR_POLICIES, STRAGGLER_POLICIES
-from .fl.export import log_to_dict, save_log
+from .fl.export import log_to_dict, save_log, save_recovery
+from .fl.metrics import recovery_summary
 from .nn.compute import COMPUTE_DTYPES, set_compute_dtype
 from .nn.serialization import save_model
 
@@ -94,6 +95,28 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="evict a client's utility state after this many rounds "
                         "of inactivity (FedTrans-family strategies; default: "
                         "keep forever)")
+    p.add_argument("--faults", type=str, default=None, metavar="SPEC",
+                   help="deterministic fault-injection spec, e.g. "
+                        "'crash=0.05,exc=0.1,poison=0.2' (kinds: crash, exc, "
+                        "shm, hang, poison, plus hang_factor).  Chaos runs "
+                        "are replayable bit-for-bit at the same seed; "
+                        "crash/shm recovery is trajectory-neutral")
+    p.add_argument("--retries", type=int, default=None,
+                   help="max attempts per work item (default 3 when --faults "
+                        "is set; without --faults this enables the retry "
+                        "layer for real failures)")
+    p.add_argument("--quarantine", action="store_true", default=False,
+                   help="validate every update before aggregation (NaN/Inf "
+                        "scan + norm-outlier gate); rejects go to the "
+                        "quarantine ledger.  Bit-identical on clean runs")
+    p.add_argument("--quarantine-norm-mult", type=float, default=None,
+                   help="norm-outlier threshold as a multiple of the running "
+                        "mean update norm (default 8; 0 disables the norm "
+                        "gate, keeping the NaN/Inf scan)")
+    p.add_argument("--save-recovery", type=Path, default=None,
+                   help="write the fault-recovery ledger JSON here (separate "
+                        "from --save-log: the run export stays byte-identical "
+                        "to a fault-free run's, recovery telemetry does not)")
     p.add_argument("--checkpoint-dir", type=Path, default=None,
                    help="run-registry root for durable runs: each run "
                         "checkpoints into a subdirectory keyed by its config "
@@ -153,6 +176,16 @@ def _coordinator_overrides(args) -> dict:
         )
     elif args.pacing != "static" or args.straggler != "drop":
         raise SystemExit("--pacing/--straggler require --mode async")
+    if args.faults is not None:
+        over["faults"] = args.faults
+    if args.retries is not None:
+        over["retries"] = args.retries
+    if args.quarantine:
+        over["quarantine"] = True
+    if args.quarantine_norm_mult is not None:
+        if not args.quarantine:
+            raise SystemExit("--quarantine-norm-mult requires --quarantine")
+        over["quarantine_norm_mult"] = args.quarantine_norm_mult
     if args.checkpoint_every is not None or args.resume:
         if args.checkpoint_dir is None:
             raise SystemExit("--checkpoint-every/--resume require --checkpoint-dir")
@@ -213,6 +246,15 @@ def cmd_run(args) -> int:
     if args.save_log:
         save_log(res.log, args.save_log)
         print(f"log written to {args.save_log}")
+    if args.save_recovery:
+        save_recovery(res.log, args.save_recovery)
+        print(f"recovery ledger written to {args.save_recovery}")
+    rec = recovery_summary(res.log)
+    if any(rec.values()):
+        print(
+            "recovery: "
+            + ", ".join(f"{k}={v}" for k, v in rec.items() if k != "fault_records")
+        )
     if args.save_models:
         args.save_models.mkdir(parents=True, exist_ok=True)
         for mid, model in res.strategy.models().items():

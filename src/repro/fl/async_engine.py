@@ -57,11 +57,13 @@ import numpy as np
 
 from ..stateful import Stateful, check_schema, schema_tag
 from .executor import RoundExecutor, TrainItem
+from .faults import ItemFailure, UpdateValidator
 from .scheduling import ClientSelector, make_pacing, make_selector, make_straggler
 from .strategy import Strategy
 from .types import (
     ArrivalRecord,
     ClientUpdate,
+    FaultRecord,
     FLClient,
     RoundRecord,
     SchedulerRecord,
@@ -185,12 +187,14 @@ class BufferedAsyncEngine(Stateful):
         executor: RoundExecutor,
         rng: np.random.Generator,
         selector: ClientSelector | None = None,
+        validator: UpdateValidator | None = None,
     ):
         self.strategy = strategy
         self.clients = clients
         self.config = config
         self.executor = executor
         self.rng = rng
+        self.validator = validator
         self.clock = VirtualClock()
         self.buffer_k = config.buffer_k or max(1, config.clients_per_round // 2)
         self.concurrency = min(
@@ -287,11 +291,28 @@ class BufferedAsyncEngine(Stateful):
             for client in selected
             for sub_idx, model_id in enumerate(assignments[client.client_id])
         ]
-        updates = self.executor.train_round(wave, items, models)
+        results = self.executor.train_round(wave, items, models)
+        # Permanent failures (retry budget exhausted): the whole client is
+        # excluded from flight — its partial updates are discarded, it is
+        # never scheduled on the clock, and the next wave may reselect it.
+        # The executor's fault ledger carries the failure; the coordinator
+        # drains it into the log after the step.
+        failed_ids = {
+            it.client_id
+            for it, r in zip(items, results)
+            if isinstance(r, ItemFailure)
+        }
         per_client: dict[int, list[ClientUpdate]] = {}
-        for item, update in zip(items, updates):
-            per_client.setdefault(item.client_id, []).append(update)
+        for item, update in zip(items, results):
+            if item.client_id not in failed_ids:
+                per_client.setdefault(item.client_id, []).append(update)
         for client in selected:
+            if client.client_id in failed_ids:
+                self._step_events.append(
+                    f"client {client.client_id} failed permanently in wave "
+                    f"{wave}; slot released"
+                )
+                continue
             ups = per_client[client.client_id]
             # Sub-models train sequentially on-device (as in sync mode).
             duration = float(sum(u.round_time for u in ups))
@@ -342,24 +363,13 @@ class BufferedAsyncEngine(Stateful):
         bytes_down = 0
         bytes_up = 0
         consecutive_drops = 0
+        consecutive_quarantines = 0
         drop_limit = max(64, 8 * self.concurrency)
         while len(buffered) < effective_k:
             self._fill_slots()
             _, _, pending = self.clock.pop()
             self._in_flight.discard(pending.client_id)
             staleness = self._version - pending.version
-            arrivals.append(
-                ArrivalRecord(
-                    dispatch_seq=pending.dispatch_seq,
-                    client_id=pending.client_id,
-                    model_ids=pending.model_ids,
-                    dispatch_time=pending.dispatch_time,
-                    finish_time=pending.finish_time,
-                    staleness=staleness,
-                    dropped=pending.dropped,
-                    downsized=pending.downsized,
-                )
-            )
             self.pacing.observe_arrival(
                 pending.client_id,
                 pending.finish_time - pending.dispatch_time,
@@ -370,6 +380,18 @@ class BufferedAsyncEngine(Stateful):
             step_macs += macs
             bytes_down += sum(u.bytes_down for u in pending.updates)
             if pending.dropped:
+                arrivals.append(
+                    ArrivalRecord(
+                        dispatch_seq=pending.dispatch_seq,
+                        client_id=pending.client_id,
+                        model_ids=pending.model_ids,
+                        dispatch_time=pending.dispatch_time,
+                        finish_time=pending.finish_time,
+                        staleness=staleness,
+                        dropped=True,
+                        downsized=pending.downsized,
+                    )
+                )
                 log.dropped_updates += 1
                 log.dropped_macs += macs
                 consecutive_drops += 1
@@ -386,7 +408,57 @@ class BufferedAsyncEngine(Stateful):
                     )
                 continue
             consecutive_drops = 0
+            # The arrival reached the server: the upload is charged before
+            # validation (a quarantined update still crossed the network).
             bytes_up += sum(u.bytes_up for u in pending.updates)
+            kept = pending.updates
+            if self.validator is not None:
+                kept = []
+                for u in pending.updates:
+                    reason = self.validator.admit(u)
+                    if reason is None:
+                        kept.append(u)
+                        continue
+                    log.quarantined_updates += 1
+                    log.faults.append(
+                        FaultRecord(
+                            round_idx=step_idx,
+                            kind="update_rejected",
+                            action="quarantined",
+                            client_id=u.client_id,
+                            model_id=u.model_id,
+                            detail=reason,
+                        )
+                    )
+                    self._step_events.append(f"quarantined update: {reason}")
+            quarantined_all = bool(pending.updates) and not kept
+            arrivals.append(
+                ArrivalRecord(
+                    dispatch_seq=pending.dispatch_seq,
+                    client_id=pending.client_id,
+                    model_ids=pending.model_ids,
+                    dispatch_time=pending.dispatch_time,
+                    finish_time=pending.finish_time,
+                    staleness=staleness,
+                    dropped=False,
+                    downsized=pending.downsized,
+                    quarantined=quarantined_all,
+                )
+            )
+            if quarantined_all:
+                # Buffers nothing: every update failed validation.  Guarded
+                # like drops so a fully poisoned fleet cannot spin forever.
+                consecutive_quarantines += 1
+                if consecutive_quarantines > drop_limit:
+                    raise RuntimeError(
+                        f"quarantine rejected {consecutive_quarantines} whole "
+                        "arrivals in a row — every client's updates are "
+                        "failing validation; check the fault spec or widen "
+                        "quarantine_norm_mult"
+                    )
+                continue
+            consecutive_quarantines = 0
+            pending.updates = kept
             buffered.append(pending)
 
         updates = [u for p in buffered for u in p.updates]

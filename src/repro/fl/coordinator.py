@@ -165,6 +165,13 @@ from .executor import (
     make_executor,
 )
 from .export import log_from_state, log_state_dict
+from .faults import (
+    FaultConfig,
+    ItemFailure,
+    QuarantineConfig,
+    RetryPolicy,
+    UpdateValidator,
+)
 from .registry import RunRegistry, run_hash
 from .scheduling import (
     PACING_POLICIES,
@@ -173,7 +180,14 @@ from .scheduling import (
     make_selector,
 )
 from .strategy import Strategy
-from .types import EvalRecord, FLClient, RoundRecord, SchedulerRecord, TrainingLog
+from .types import (
+    EvalRecord,
+    FaultRecord,
+    FLClient,
+    RoundRecord,
+    SchedulerRecord,
+    TrainingLog,
+)
 
 __all__ = ["CoordinatorConfig", "Coordinator"]
 
@@ -250,6 +264,17 @@ class CoordinatorConfig:
     selector: str = "uniform"
     pacing: str = "static"
     straggler: str = "drop"
+    # Fault tolerance (repro.fl.faults).  ``faults`` is a deterministic
+    # injection spec ("crash=0.05,poison=0.2,..."; None disables);
+    # ``retries`` caps attempts per work item (None = RetryPolicy's
+    # default of 3 when faults are configured, no retry layer otherwise).
+    # ``quarantine`` screens every update before aggregation (NaN/Inf scan
+    # + norm-outlier gate at ``quarantine_norm_mult`` x the running mean
+    # norm); rejects divert to the quarantine ledger instead of Eq. 5.
+    faults: str | None = None
+    retries: int | None = None
+    quarantine: bool = False
+    quarantine_norm_mult: float = 8.0
     # Durable runs (module docstring).  ``checkpoint_dir`` is the registry
     # root — the run's own directory inside it is derived from the config
     # hash, so distinct experiments never clobber each other.  All three
@@ -319,6 +344,14 @@ class CoordinatorConfig:
             raise ValueError("deadline_s must be positive")
         if not 0.0 < self.staleness_discount <= 1.0:
             raise ValueError("staleness_discount must lie in (0, 1]")
+        if self.faults is not None:
+            FaultConfig.parse(self.faults)  # raises ValueError on a bad spec
+        if self.retries is not None and self.retries < 1:
+            raise ValueError(f"retries must be >= 1, got {self.retries}")
+        if not isinstance(self.quarantine, bool):
+            raise ValueError(f"quarantine must be a bool, got {self.quarantine!r}")
+        # Delegates range checking (>= 0; 0 disables the norm gate).
+        QuarantineConfig(norm_multiplier=self.quarantine_norm_mult)
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if not isinstance(self.resume, bool):
@@ -358,16 +391,34 @@ class Coordinator(Stateful):
         self.clients = clients
         self.config = config
         self._rng = np.random.default_rng(config.seed)
+        # Fault-tolerance wiring: a retry policy exists whenever faults are
+        # injected (so chaos runs recover by default) or when the user asks
+        # for one explicitly — real environments fail without a fault spec.
+        fault_config = FaultConfig.parse(config.faults) if config.faults else None
+        retry = (
+            RetryPolicy(max_attempts=config.retries)
+            if config.retries is not None
+            else (RetryPolicy() if fault_config is not None else None)
+        )
         # An injected executor is caller-owned (and caller-closed); a
         # config-built one belongs to this coordinator.
         self._owns_executor = executor is None
         self.executor = executor or make_executor(
-            config.executor, clients, config.trainer, config.seed, config.max_workers
+            config.executor, clients, config.trainer, config.seed, config.max_workers,
+            faults=fault_config, retry=retry,
+        )
+        self.validator = (
+            UpdateValidator(
+                QuarantineConfig(norm_multiplier=config.quarantine_norm_mult)
+            )
+            if config.quarantine
+            else None
         )
         self.selector = make_selector(config.selector, seed=config.seed)
         self._async_engine = (
             BufferedAsyncEngine(
-                strategy, clients, config, self.executor, self._rng, self.selector
+                strategy, clients, config, self.executor, self._rng, self.selector,
+                validator=self.validator,
             )
             if config.mode == "async"
             else None
@@ -426,6 +477,11 @@ class Coordinator(Stateful):
             "selector": self.selector.state_dict(),
             "strategy": self.strategy.state_dict(),
             "engine": engine.state_dict() if engine is not None else None,
+            # Quarantine gate state (running per-model norm estimates): a
+            # resumed run must gate exactly like the uninterrupted one.
+            "validator": (
+                self.validator.state_dict() if self.validator is not None else None
+            ),
             # The eval caches must travel or a resumed sweep would recompute
             # groups the uninterrupted run served from cache, skewing the
             # cached/evaluated meters on the next EvalRecord.  Tuple keys
@@ -474,6 +530,11 @@ class Coordinator(Stateful):
             )
         if self._async_engine is not None:
             self._async_engine.load_state_dict(engine_payload)
+        # .get(): checkpoints written before the quarantine gate existed
+        # carry no validator entry; a validator-less resume of one is fine.
+        validator_payload = payload.get("validator")
+        if self.validator is not None and validator_payload is not None:
+            self.validator.load_state_dict(validator_payload)
         self._eval_acc_cache = {
             (
                 tuple(e["model_ids"]),
@@ -542,6 +603,7 @@ class Coordinator(Stateful):
                 )
                 if (round_idx + 1) % cfg.eval_every == 0 or round_idx == cfg.rounds - 1:
                     ev = self.evaluate(round_idx, log.total_macs)
+                    self._drain_faults(log)  # eval waves can heal/retry too
                     log.evals.append(ev)
                     acc_history.append(ev.mean_accuracy)
                     if self._converged(acc_history):
@@ -563,6 +625,7 @@ class Coordinator(Stateful):
                 log.stop_reason = "budget"
             if not log.evals or log.evals[-1].round_idx != log.stopped_round:
                 log.evals.append(self.evaluate(log.stopped_round, log.total_macs))
+                self._drain_faults(log)
             if writer is not None:
                 # Terminal checkpoint: marks the run finished so a later
                 # --resume returns this log instead of training again.
@@ -592,9 +655,60 @@ class Coordinator(Stateful):
         return max(recent) - baseline <= self.config.convergence_delta
 
     # ------------------------------------------------------------------
+    def _drain_faults(self, log: TrainingLog) -> None:
+        """Fold the executor's recovery ledger into the log's meters."""
+        for rec in self.executor.drain_fault_records():
+            log.faults.append(rec)
+            if rec.action == "pool_rebuild":
+                log.worker_restarts += 1
+            elif rec.action == "retry":
+                log.retries += 1
+            elif rec.action == "failed":
+                log.failed_updates += 1
+
+    def _quarantine(
+        self,
+        round_idx: int,
+        pairs: list[tuple[TrainItem, "object"]],
+        log: TrainingLog,
+        events: list[str],
+    ) -> list[tuple[TrainItem, "object"]]:
+        """Validate each update; rejects go to the ledger, survivors return.
+
+        Order-preserving and side-effect-free on a clean round: with no
+        rejects the returned list is the input list, and the validator's
+        running stats advance exactly as they would in any clean run —
+        which is why quarantine-on and quarantine-off clean runs are
+        bit-identical.
+        """
+        if self.validator is None:
+            return pairs
+        kept = []
+        for item, update in pairs:
+            reason = self.validator.admit(update)
+            if reason is None:
+                kept.append((item, update))
+                continue
+            log.quarantined_updates += 1
+            log.faults.append(
+                FaultRecord(
+                    round_idx=round_idx,
+                    kind="update_rejected",
+                    action="quarantined",
+                    client_id=update.client_id,
+                    model_id=update.model_id,
+                    detail=reason,
+                )
+            )
+            events.append(f"quarantined update: {reason}")
+        return kept
+
+    # ------------------------------------------------------------------
     def _run_round(self, round_idx: int, log: TrainingLog) -> RoundRecord:
         if self._async_engine is not None:
-            return self._async_engine.step(round_idx, log)
+            record = self._async_engine.step(round_idx, log)
+            self._drain_faults(log)
+            return record
         cfg = self.config
         participants = self.selector.select(
             round_idx, self.clients, cfg.clients_per_round, self._rng
@@ -607,25 +721,48 @@ class Coordinator(Stateful):
             for client in participants
             for sub_idx, model_id in enumerate(assignments[client.client_id])
         ]
-        updates = self.executor.train_round(round_idx, items, models)
+        raw = self.executor.train_round(round_idx, items, models)
+        self._drain_faults(log)
+        events: list[str] = []
+        # Permanent failures (retry budget exhausted) are excluded from the
+        # round like drops: no cost is charged (the item never completed)
+        # and the round proceeds without them.
+        pairs = []
+        for item, result in zip(items, raw):
+            if isinstance(result, ItemFailure):
+                events.append(
+                    f"work item (client {result.client_id}, model "
+                    f"{result.model_id}) failed permanently after "
+                    f"{result.attempts} attempts: {result.error}"
+                )
+            else:
+                pairs.append((item, result))
 
         # A client's sub-models train sequentially on-device, clients in
         # parallel across the fleet: per-client sum, fleet-wide max.
+        # Quarantined updates still count: the device trained and uploaded
+        # either way — only aggregation ignores it.
         elapsed = {c.client_id: 0.0 for c in participants}
-        for item, update in zip(items, updates):
+        for item, update in pairs:
             elapsed[item.client_id] += update.round_time
         client_times = [elapsed[c.client_id] for c in participants]
+        macs = float(sum(u.macs_spent for _, u in pairs))
+        bdown = sum(u.bytes_down for _, u in pairs)
+        bup = sum(u.bytes_up for _, u in pairs)
 
-        events = self.strategy.aggregate(round_idx, updates, self._rng)
+        survivors = self._quarantine(round_idx, pairs, log, events)
+        updates = [u for _, u in survivors]
+        if updates:
+            events = list(self.strategy.aggregate(round_idx, updates, self._rng) or []) + events
+            mean_loss = float(np.mean([u.train_loss for u in updates]))
+        else:
+            events.append("no usable updates this round; aggregation skipped")
+            mean_loss = 0.0
         self.selector.observe_round(round_idx, updates)
 
-        macs = float(sum(u.macs_spent for u in updates))
-        bdown = sum(u.bytes_down for u in updates)
-        bup = sum(u.bytes_up for u in updates)
         log.total_macs += macs
         log.total_bytes_down += bdown
         log.total_bytes_up += bup
-        events = list(events or [])
         if len(participants) < cfg.clients_per_round:
             events.append(
                 f"under-provisioned round: selected {len(participants)} of "
@@ -638,7 +775,7 @@ class Coordinator(Stateful):
             round_idx=round_idx,
             participants=[c.client_id for c in participants],
             assignments=assignments,
-            mean_loss=float(np.mean([u.train_loss for u in updates])),
+            mean_loss=mean_loss,
             macs=macs,
             bytes_down=bdown,
             bytes_up=bup,

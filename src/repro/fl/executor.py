@@ -58,9 +58,11 @@ bit-identical :class:`~repro.fl.types.TrainingLog` records.
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import os
 import pickle
 import secrets
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -73,11 +75,22 @@ from ..nn.model import CellModel
 from ..stateful import Stateful, check_schema, schema_tag
 from . import shm as _shm
 from .client import LocalTrainer, LocalTrainerConfig
-from .types import ClientUpdate, FLClient
+from .faults import (
+    FaultConfig,
+    FaultPlan,
+    InjectedShmFault,
+    ItemFailure,
+    RetryPolicy,
+    SnapshotChainError,
+    fault_kind,
+    is_infrastructure_fault,
+)
+from .types import ClientUpdate, FaultRecord, FLClient
 
 __all__ = [
     "EXECUTOR_BACKENDS",
     "FULL_SNAPSHOT_EVERY",
+    "POOL_REBUILD_LIMIT",
     "TrainItem",
     "EvalTask",
     "derive_client_rng",
@@ -95,6 +108,13 @@ EXECUTOR_BACKENDS = ("serial", "thread", "process")
 # shared-memory segments and the replay work of a worker that sat idle for
 # many publishes.
 FULL_SNAPSHOT_EVERY = 8
+
+# Self-healing bound: how many times the process pool may break (and be
+# rebuilt) within a single dispatch wave before the executor gives up and
+# propagates the failure.  An injected crash heals in one rebuild (faults
+# fire at attempt 0 only); a pool that keeps dying is a real environment
+# problem that retrying cannot fix.
+POOL_REBUILD_LIMIT = 3
 
 
 @dataclass(frozen=True)
@@ -246,7 +266,19 @@ class RoundExecutor(Stateful, ABC):
     design: pools, snapshot chains, and publish meters are all *derived*
     runtime state, rebuilt lazily from the models a resumed coordinator
     republishes — a checkpoint carries no executor bytes, which is also
-    what lets a run resume under a different backend.
+    what lets a run resume under a different backend.  (The fault ledger
+    and recovery counters are telemetry, not trajectory: the coordinator
+    drains them into the log each round, and the log is what checkpoints.)
+
+    Fault tolerance (:mod:`~repro.fl.faults`): with a ``faults`` config
+    the executor injects the plan's deterministic failures into its work
+    items; with a ``retry`` policy failed train items are re-run up to
+    ``max_attempts`` times (task-level failures charging simulated backoff
+    into the item's round time; infrastructure failures charging nothing)
+    and an exhausted item returns an :class:`~repro.fl.faults.ItemFailure`
+    sentinel in its result slot instead of aborting the round.  With
+    ``retry=None`` (the default) the first failure propagates — exactly
+    the pre-fault-subsystem behavior.
     """
 
     backend: str = "abstract"
@@ -263,18 +295,130 @@ class RoundExecutor(Stateful, ABC):
         trainer_config: LocalTrainerConfig,
         seed: int,
         max_workers: int | None = None,
+        *,
+        faults: FaultConfig | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.clients_by_id = {c.client_id: c for c in clients}
         self.trainer_config = trainer_config
         self.trainer = LocalTrainer(trainer_config)
         self.seed = seed
         self.max_workers = max_workers
+        self.faults = faults
+        self.retry = retry
+        self.fault_plan = (
+            FaultPlan(seed, faults)
+            if faults is not None and faults.any_enabled()
+            else None
+        )
+        # Recovery telemetry (public: read by the coordinator, benchmarks,
+        # and tests).  Guarded by a lock — the thread backend's retry path
+        # meters from worker threads.
+        self.worker_restarts = 0
+        self.retries = 0
+        self.failed_items = 0
+        self._fault_records: list[FaultRecord] = []
+        self._meter_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # fault metering + the shared in-process resilient train path
+    # ------------------------------------------------------------------
+    def _record_fault(
+        self,
+        round_idx: int,
+        kind: str,
+        action: str,
+        client_id: int | None = None,
+        model_id: str | None = None,
+        detail: str = "",
+        attempts: int = 0,
+    ) -> None:
+        with self._meter_lock:
+            self._fault_records.append(
+                FaultRecord(
+                    round_idx=round_idx,
+                    kind=kind,
+                    action=action,
+                    client_id=client_id,
+                    model_id=model_id,
+                    detail=detail,
+                    attempts=attempts,
+                )
+            )
+            if action == "pool_rebuild":
+                self.worker_restarts += 1
+            elif action == "retry":
+                self.retries += 1
+            elif action == "failed":
+                self.failed_items += 1
+
+    def drain_fault_records(self) -> list[FaultRecord]:
+        """Hand the accumulated fault ledger to the caller (and reset it)."""
+        with self._meter_lock:
+            records, self._fault_records = self._fault_records, []
+        return records
+
+    def _run_train_item(
+        self, round_idx: int, item: TrainItem, models: dict[str, CellModel]
+    ) -> ClientUpdate | ItemFailure:
+        """One train item with fault injection and bounded retry.
+
+        The in-process backends (serial, thread) funnel through this; the
+        process backend mirrors the exact same semantics coordinator-side
+        in :meth:`ProcessPoolRoundExecutor._run_wave`, so every backend
+        agrees on when a fault fires (attempt 0 only), what a retry costs
+        (simulated backoff for task-level failures, nothing for
+        infrastructure ones), and when an item fails permanently.
+        """
+        attempts = 0
+        delay = 0.0
+        while True:
+            decision = (
+                self.fault_plan.item_faults(round_idx, item)
+                if self.fault_plan is not None and attempts == 0
+                else None
+            )
+            try:
+                if decision is not None:
+                    decision.fire_pre(worker_side=False)
+                update = _train_item(
+                    models, self.clients_by_id, self.trainer, self.seed, round_idx, item
+                )
+                if decision is not None:
+                    decision.apply_post(update)
+                if delay:
+                    update.round_time += delay
+                return update
+            except Exception as err:
+                attempts += 1
+                if self.retry is None:
+                    raise
+                if attempts >= self.retry.max_attempts:
+                    self._record_fault(
+                        round_idx, fault_kind(err), "failed",
+                        client_id=item.client_id, model_id=item.model_id,
+                        detail=str(err), attempts=attempts,
+                    )
+                    return ItemFailure(
+                        item.model_id, item.client_id, item.sub_idx, str(err), attempts
+                    )
+                self._record_fault(
+                    round_idx, fault_kind(err), "retry",
+                    client_id=item.client_id, model_id=item.model_id,
+                    detail=str(err), attempts=attempts,
+                )
+                if not is_infrastructure_fault(err):
+                    delay += self.retry.backoff(attempts)
 
     @abstractmethod
     def train_round(
         self, round_idx: int, items: list[TrainItem], models: dict[str, CellModel]
     ) -> list[ClientUpdate]:
-        """Run local training for every item; results in item order."""
+        """Run local training for every item; results in item order.
+
+        With a retry policy configured, a slot may hold an
+        :class:`~repro.fl.faults.ItemFailure` instead of an update.
+        """
 
     @abstractmethod
     def eval_round(
@@ -328,10 +472,7 @@ class SerialExecutor(RoundExecutor):
 
     def train_round(self, round_idx, items, models):
         with _sanitize.published(models):
-            return [
-                _train_item(models, self.clients_by_id, self.trainer, self.seed, round_idx, it)
-                for it in items
-            ]
+            return [self._run_train_item(round_idx, it, models) for it in items]
 
     def eval_round(self, tasks, models, batch_size):
         with _sanitize.published(models):
@@ -347,8 +488,10 @@ class ThreadPoolRoundExecutor(RoundExecutor):
 
     backend = "thread"
 
-    def __init__(self, clients, trainer_config, seed, max_workers=None):
-        super().__init__(clients, trainer_config, seed, max_workers)
+    def __init__(self, clients, trainer_config, seed, max_workers=None, *,
+                 faults=None, retry=None):
+        super().__init__(clients, trainer_config, seed, max_workers,
+                         faults=faults, retry=retry)
         self._pool: concurrent.futures.ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
@@ -361,9 +504,7 @@ class ThreadPoolRoundExecutor(RoundExecutor):
         pool = self._ensure_pool()
         with _sanitize.published(models):
             futures = [
-                pool.submit(
-                    _train_item, models, self.clients_by_id, self.trainer, self.seed, round_idx, it
-                )
+                pool.submit(self._run_train_item, round_idx, it, models)
                 for it in items
             ]
             return [f.result() for f in futures]
@@ -420,11 +561,14 @@ _WORKER: dict = {}
 
 
 def _proc_init(payload: bytes) -> None:
-    clients, trainer_config, seed, dtype = pickle.loads(payload)
+    clients, trainer_config, seed, dtype, fault_config = pickle.loads(payload)
     set_compute_dtype(dtype)
     _WORKER["clients_by_id"] = {c.client_id: c for c in clients}
     _WORKER["trainer"] = LocalTrainer(trainer_config)
     _WORKER["seed"] = seed
+    _WORKER["fault_plan"] = (
+        FaultPlan(seed, fault_config) if fault_config is not None else None
+    )
     _WORKER["version"] = 0  # published snapshot versions start at 1
     _WORKER["models"] = None
     # name -> SharedMemory: segments whose buffers installed models view
@@ -434,11 +578,26 @@ def _proc_init(payload: bytes) -> None:
     _WORKER["segments"] = {}
 
 
-def _worker_segment(name: str):
+def _worker_segment(name: str, chain: tuple = ()):
     seg = _WORKER["segments"].get(name)
     if seg is None:
-        seg = _WORKER["segments"][name] = _shm.attach_segment(name)
+        try:
+            seg = _shm.attach_segment(name)
+        except FileNotFoundError:
+            expected = [(v, k, n) for v, k, n in chain] if chain else "unknown"
+            raise SnapshotChainError(
+                f"shared-memory segment {name!r} does not exist; expected "
+                f"snapshot chain {expected}, worker has attached "
+                f"{sorted(_WORKER['segments'])}. The coordinator unlinks "
+                "segments on chain compaction, pool heal, and close() — a "
+                "worker asked to replay a retired chain (or a stale future "
+                "from before a pool rebuild) hits exactly this."
+            ) from None
+        _WORKER["segments"][name] = seg
     return seg
+
+
+_WORKER_LOG = logging.getLogger(__name__ + ".worker")
 
 
 def _worker_rebase(keep: str) -> None:
@@ -447,8 +606,11 @@ def _worker_rebase(keep: str) -> None:
     for name in [n for n in segments if n != keep]:
         try:
             segments.pop(name).close()
-        except Exception:
-            pass
+        except OSError as err:
+            # A close() failure leaks one worker-side mapping until process
+            # exit — worth a log line, never worth failing the rebase (the
+            # segment itself is coordinator-owned and already retired).
+            _WORKER_LOG.warning("closing rebased segment %r failed: %s", name, err)
 
 
 def _proc_models(
@@ -476,14 +638,16 @@ def _proc_models(
             raise RuntimeError(
                 f"snapshot chain must start with a full snapshot, got {base_kind!r}"
             )
-        kind, models, _, _ = _shm.read_snapshot_segment(_worker_segment(base_name))
+        kind, models, _, _ = _shm.read_snapshot_segment(
+            _worker_segment(base_name, chain)
+        )
         _worker_rebase(keep=base_name)
         cur = base_ver
     for ver, kind, name in chain[1:]:
         if ver <= cur:
             continue
         _, changed, removed, all_ids = _shm.read_snapshot_segment(
-            _worker_segment(name)
+            _worker_segment(name, chain)
         )
         models.update(changed)
         for rid in removed:
@@ -504,12 +668,27 @@ def _proc_models(
 
 
 def _proc_train(
-    version: int, chain: tuple, round_idx: int, item: TrainItem
+    version: int, chain: tuple, round_idx: int, item: TrainItem, attempt: int = 0
 ) -> ClientUpdate:
+    """One train item in a worker: faults fire here, on attempt 0 only.
+
+    ``fire_pre`` runs *before* the snapshot replay so an injected SIGKILL
+    takes the worker down mid-task exactly as a real crash would — with the
+    item's future unresolved and the pool broken.  Retried items arrive
+    with ``attempt >= 1`` and run clean (the coordinator owns attempt
+    accounting across pool rebuilds).
+    """
+    plan = _WORKER.get("fault_plan")
+    decision = plan.item_faults(round_idx, item) if plan is not None and attempt == 0 else None
+    if decision is not None:
+        decision.fire_pre(worker_side=True)
     models = _proc_models(version, chain)
-    return _train_item(
+    update = _train_item(
         models, _WORKER["clients_by_id"], _WORKER["trainer"], _WORKER["seed"], round_idx, item
     )
+    if decision is not None:
+        decision.apply_post(update)
+    return update
 
 
 def _proc_eval(version: int, chain: tuple, task: EvalTask, batch_size: int) -> np.ndarray:
@@ -538,8 +717,10 @@ class ProcessPoolRoundExecutor(RoundExecutor):
 
     backend = "process"
 
-    def __init__(self, clients, trainer_config, seed, max_workers=None):
-        super().__init__(clients, trainer_config, seed, max_workers)
+    def __init__(self, clients, trainer_config, seed, max_workers=None, *,
+                 faults=None, retry=None):
+        super().__init__(clients, trainer_config, seed, max_workers,
+                         faults=faults, retry=retry)
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
         self._version = 0
         # (version, "full" | "delta", segment name) of every retained
@@ -577,6 +758,10 @@ class ProcessPoolRoundExecutor(RoundExecutor):
                     self.trainer_config,
                     self.seed,
                     compute_dtype_name(),
+                    # Workers rebuild the same FaultPlan from (seed, config):
+                    # worker-side decisions (SIGKILL, task errors, poison)
+                    # match the coordinator's replay of the same spawn keys.
+                    self.faults if self.fault_plan is not None else None,
                 )
             )
             workers = self.max_workers or (os.cpu_count() or 1)
@@ -612,7 +797,7 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self._deltas_since_full = 0
 
     def _publish(
-        self, models: dict[str, CellModel]
+        self, models: dict[str, CellModel], fault_attempt: int = 0
     ) -> tuple[int, tuple[tuple[int, str, str], ...]]:
         """Publish the current suite; returns ``(version, snapshot chain)``.
 
@@ -636,6 +821,18 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         if versions == self._published_versions:
             self.reused_publish_count += 1
             return self._version, tuple(self._chain)
+        # Deterministic publish fault: keyed on the ordinal of *real*
+        # publishes (reuses never fault, and the counter only advances on
+        # success), injected before any state mutates so the retry sees a
+        # clean slate.  Attempt 0 only — the retry runs clean.
+        if (
+            self.fault_plan is not None
+            and fault_attempt == 0
+            and self.fault_plan.publish_fails(self.publish_count)
+        ):
+            raise InjectedShmFault(
+                f"injected snapshot publish failure (publish ordinal {self.publish_count})"
+            )
         prev = self._published_versions
         changed = {
             mid: m
@@ -677,35 +874,198 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self.bytes_published_total += nbytes
         return self._version, tuple(self._chain)
 
+    def _publish_resilient(
+        self, models: dict[str, CellModel], round_idx: int
+    ) -> tuple[int, tuple[tuple[int, str, str], ...]]:
+        """Publish with bounded retry over injected publish failures.
+
+        An :class:`~repro.fl.faults.InjectedShmFault` fires before the
+        publish mutates anything, so the retry republishes from a clean
+        slate; it is infrastructure (zero simulated time) and attempt 0
+        only, so one retry always heals it.  Exhaustion propagates — a
+        publish that keeps failing has no sane degraded mode.
+        """
+        fault_attempt = 0
+        while True:
+            try:
+                return self._publish(models, fault_attempt=fault_attempt)
+            except InjectedShmFault as err:
+                fault_attempt += 1
+                limit = self.retry.max_attempts if self.retry is not None else 2
+                if fault_attempt >= limit:
+                    raise
+                self._record_fault(
+                    round_idx, "shm_publish", "retry",
+                    detail=str(err), attempts=fault_attempt,
+                )
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _heal(self, round_idx: int, err: BaseException) -> None:
+        """Recover from a broken pool: rebuild workers, reset the arena.
+
+        The dead workers' shared-memory mappings are gone with them, so the
+        arena is released outright; the next publish writes a fresh full
+        snapshot, which is how the chain is replayed to the fresh workers.
+        """
+        self._record_fault(
+            round_idx, "worker_crash", "pool_rebuild",
+            detail=str(err) or type(err).__name__,
+        )
+        self._discard_pool()
+        self._release_arena()
+
+    def _run_wave(
+        self, models: dict[str, CellModel], jobs: list[tuple], round_idx: int
+    ) -> list:
+        """Dispatch one wave of work with self-healing and bounded retry.
+
+        ``jobs`` is ``[(kind, payload), ...]`` with kind ``"train"``
+        (payload: the :class:`TrainItem`) or ``"eval"``/``"logits"``
+        (payload: ``(task, batch_size)``); results come back in job order.
+
+        A broken pool (worker SIGKILL — injected or real) triggers
+        :meth:`_heal` and re-dispatches only the unfinished items, at most
+        ``POOL_REBUILD_LIMIT`` times per wave.  Completed items keep their
+        attempt-0 results, and re-dispatched items re-derive the same
+        ``(round, client, sub)`` RNG streams, so a healed wave is
+        bit-identical to a fault-free one.  When a fault plan is present,
+        re-dispatched train items whose plan decision was the crash are
+        bumped to attempt 1 (their fault already fired; retries run clean)
+        while innocent victims of the shared pool keep attempt 0 so their
+        own faults still fire exactly once — cross-backend parity.
+
+        Task-level exceptions follow the same retry semantics as the
+        in-process backends (:meth:`RoundExecutor._run_train_item`):
+        bounded retries charging simulated backoff, permanent train
+        failures degrade to :class:`~repro.fl.faults.ItemFailure`,
+        eval/logits failures propagate on exhaustion, and with no retry
+        policy the first failure propagates after the wave settles.
+        """
+        results: list = [None] * len(jobs)
+        attempts = [0] * len(jobs)
+        delays = [0.0] * len(jobs)
+        pending = list(range(len(jobs)))
+        rebuilds = 0
+        while pending:
+            broken: BaseException | None = None
+            futures: dict[int, concurrent.futures.Future] = {}
+            try:
+                pool = self._ensure_pool()
+                version, chain = self._publish_resilient(models, round_idx)
+                for i in pending:
+                    kind, payload = jobs[i]
+                    if kind == "train":
+                        futures[i] = pool.submit(
+                            _proc_train, version, chain, round_idx, payload, attempts[i]
+                        )
+                    elif kind == "eval":
+                        futures[i] = pool.submit(
+                            _proc_eval, version, chain, payload[0], payload[1]
+                        )
+                    else:
+                        futures[i] = pool.submit(
+                            _proc_logits, version, chain, payload[0], payload[1]
+                        )
+            except concurrent.futures.process.BrokenProcessPool as err:
+                broken = err
+            if futures:
+                # Settle the whole wave before touching any result: a
+                # publish must never unlink segments under a mid-attach
+                # worker (see the old _drain contract).
+                concurrent.futures.wait(list(futures.values()))
+            retry_idx: list[int] = []
+            for i in sorted(futures):
+                kind, payload = jobs[i]
+                try:
+                    res = futures[i].result()
+                except (
+                    concurrent.futures.process.BrokenProcessPool,
+                    concurrent.futures.CancelledError,
+                ) as err:
+                    # Lost to the pool breaking, not to its own failure:
+                    # re-dispatch without charging an attempt (the culprit
+                    # bump below covers the item whose fault killed the pool).
+                    if broken is None:
+                        broken = err
+                    retry_idx.append(i)
+                except Exception as err:
+                    attempts[i] += 1
+                    if self.retry is None:
+                        raise
+                    item = payload if kind == "train" else None
+                    if attempts[i] >= self.retry.max_attempts:
+                        if item is None:
+                            raise  # eval work has no degraded mode
+                        self._record_fault(
+                            round_idx, fault_kind(err), "failed",
+                            client_id=item.client_id, model_id=item.model_id,
+                            detail=str(err), attempts=attempts[i],
+                        )
+                        results[i] = ItemFailure(
+                            item.model_id, item.client_id, item.sub_idx,
+                            str(err), attempts[i],
+                        )
+                    else:
+                        self._record_fault(
+                            round_idx, fault_kind(err), "retry",
+                            client_id=item.client_id if item else None,
+                            model_id=item.model_id if item else None,
+                            detail=str(err), attempts=attempts[i],
+                        )
+                        if not is_infrastructure_fault(err):
+                            delays[i] += self.retry.backoff(attempts[i])
+                        retry_idx.append(i)
+                else:
+                    if delays[i] and isinstance(res, ClientUpdate):
+                        res.round_time += delays[i]
+                    results[i] = res
+            pending = sorted(set(retry_idx) | {i for i in pending if i not in futures})
+            if broken is not None:
+                rebuilds += 1
+                if rebuilds > POOL_REBUILD_LIMIT:
+                    self._discard_pool()
+                    self._release_arena()
+                    raise RuntimeError(
+                        f"process pool broke {rebuilds} times in one dispatch "
+                        f"wave (limit {POOL_REBUILD_LIMIT}); giving up"
+                    ) from broken
+                self._heal(round_idx, broken)
+                if self.fault_plan is not None:
+                    for i in pending:
+                        kind, payload = jobs[i]
+                        if (
+                            kind == "train"
+                            and attempts[i] == 0
+                            and self.fault_plan.item_faults(round_idx, payload).crash
+                        ):
+                            attempts[i] = 1
+        return results
+
     def train_round(self, round_idx, items, models):
-        pool = self._ensure_pool()
         with _sanitize.published(models):
-            version, chain = self._publish(models)
-            futures = [pool.submit(_proc_train, version, chain, round_idx, it) for it in items]
-            return self._drain(futures)
+            return self._run_wave(models, [("train", it) for it in items], round_idx)
 
     def eval_round(self, tasks, models, batch_size):
-        pool = self._ensure_pool()
         with _sanitize.published(models):
-            version, chain = self._publish(models)
-            futures = [pool.submit(_proc_eval, version, chain, t, batch_size) for t in tasks]
-            return self._drain(futures)
+            jobs = [("eval", (t, batch_size)) for t in tasks]
+            return self._run_wave(models, jobs, -1)
 
     def logits_round(self, tasks, models, batch_size):
-        pool = self._ensure_pool()
         with _sanitize.published(models):
-            version, chain = self._publish(models)
-            futures = [pool.submit(_proc_logits, version, chain, t, batch_size) for t in tasks]
-            return self._drain(futures)
+            jobs = [("logits", (t, batch_size)) for t in tasks]
+            return self._run_wave(models, jobs, -1)
 
     def eval_and_logits_round(self, eval_tasks, logits_tasks, models, batch_size):
-        pool = self._ensure_pool()
         with _sanitize.published(models):
-            version, chain = self._publish(models)  # one publish for the wave
-            efs = [pool.submit(_proc_eval, version, chain, t, batch_size) for t in eval_tasks]
-            lfs = [pool.submit(_proc_logits, version, chain, t, batch_size) for t in logits_tasks]
-            results = self._drain(efs + lfs)
-            return results[: len(efs)], results[len(efs) :]
+            jobs = [("eval", (t, batch_size)) for t in eval_tasks] + [
+                ("logits", (t, batch_size)) for t in logits_tasks
+            ]
+            results = self._run_wave(models, jobs, -1)  # one publish per dispatch
+            return results[: len(eval_tasks)], results[len(eval_tasks) :]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -736,6 +1096,9 @@ def make_executor(
     trainer_config: LocalTrainerConfig,
     seed: int,
     max_workers: int | None = None,
+    *,
+    faults: FaultConfig | None = None,
+    retry: RetryPolicy | None = None,
 ) -> RoundExecutor:
     """Instantiate a round executor by backend name."""
     try:
@@ -746,4 +1109,7 @@ def make_executor(
         ) from None
     if max_workers is not None and max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-    return cls(clients, trainer_config, seed, max_workers=max_workers)
+    return cls(
+        clients, trainer_config, seed, max_workers=max_workers,
+        faults=faults, retry=retry,
+    )

@@ -24,9 +24,24 @@ import numpy as np
 from ..atomicio import atomic_write
 from ..stateful import check_schema, schema_tag
 from .metrics import summarize
-from .types import ArrivalRecord, EvalRecord, RoundRecord, SchedulerRecord, TrainingLog
+from .types import (
+    ArrivalRecord,
+    EvalRecord,
+    FaultRecord,
+    RoundRecord,
+    SchedulerRecord,
+    TrainingLog,
+)
 
-__all__ = ["log_to_dict", "save_log", "load_log", "log_state_dict", "log_from_state"]
+__all__ = [
+    "log_to_dict",
+    "save_log",
+    "load_log",
+    "recovery_to_dict",
+    "save_recovery",
+    "log_state_dict",
+    "log_from_state",
+]
 
 
 def log_to_dict(log: TrainingLog) -> dict:
@@ -92,6 +107,7 @@ def log_to_dict(log: TrainingLog) -> dict:
                                 "staleness": a.staleness,
                                 "dropped": a.dropped,
                                 "downsized": a.downsized,
+                                "quarantined": a.quarantined,
                             }
                             for a in r.arrivals
                         ]
@@ -135,6 +151,47 @@ def load_log(path: str | Path) -> dict:
 
 
 # ----------------------------------------------------------------------
+# recovery telemetry export (separate from the run export on purpose)
+# ----------------------------------------------------------------------
+def recovery_to_dict(log: TrainingLog) -> dict:
+    """JSON-serializable view of a run's fault-recovery ledger.
+
+    Deliberately a *separate* export from :func:`log_to_dict`: the run
+    export states the trajectory, which CONTRACTS.md I10 requires to be
+    byte-identical between a crash-recovered run and the fault-free run at
+    the same seed — recovery telemetry necessarily differs between the
+    two, so it lives here instead.
+    """
+    return {
+        "format": 1,
+        "strategy": log.strategy,
+        "mode": log.mode,
+        "worker_restarts": log.worker_restarts,
+        "retries": log.retries,
+        "failed_updates": log.failed_updates,
+        "quarantined_updates": log.quarantined_updates,
+        "faults": [
+            {
+                "round": f.round_idx,
+                "kind": f.kind,
+                "action": f.action,
+                "client": f.client_id,
+                "model": f.model_id,
+                "detail": f.detail,
+                "attempts": f.attempts,
+            }
+            for f in log.faults
+        ],
+    }
+
+
+def save_recovery(log: TrainingLog, path: str | Path) -> None:
+    """Write the recovery-ledger JSON (crash-consistent, like save_log)."""
+    with atomic_write(path, "w", encoding="utf-8") as f:
+        json.dump(recovery_to_dict(log), f, indent=1)
+
+
+# ----------------------------------------------------------------------
 # checkpoint serialization (Stateful payload, not the export format)
 # ----------------------------------------------------------------------
 LOG_SCHEMA = schema_tag("TrainingLog")
@@ -156,6 +213,25 @@ def log_state_dict(log: TrainingLog) -> dict:
         "dropped_macs": log.dropped_macs,
         "downsized_updates": log.downsized_updates,
         "evicted_clients": log.evicted_clients,
+        # Fault-tolerance meters + ledger: a checkpoint captures the log
+        # faithfully, recovery telemetry included (the separation from the
+        # run *export* is about I10's byte-compare, not about fidelity).
+        "worker_restarts": log.worker_restarts,
+        "retries": log.retries,
+        "failed_updates": log.failed_updates,
+        "quarantined_updates": log.quarantined_updates,
+        "faults": [
+            {
+                "round_idx": f.round_idx,
+                "kind": f.kind,
+                "action": f.action,
+                "client_id": f.client_id,
+                "model_id": f.model_id,
+                "detail": f.detail,
+                "attempts": f.attempts,
+            }
+            for f in log.faults
+        ],
         "rounds": [
             {
                 "round_idx": r.round_idx,
@@ -178,6 +254,7 @@ def log_state_dict(log: TrainingLog) -> dict:
                         "staleness": a.staleness,
                         "dropped": a.dropped,
                         "downsized": a.downsized,
+                        "quarantined": a.quarantined,
                     }
                     for a in r.arrivals
                 ],
@@ -232,6 +309,24 @@ def log_from_state(payload: dict) -> TrainingLog:
         dropped_macs=payload["dropped_macs"],
         downsized_updates=payload["downsized_updates"],
         evicted_clients=payload["evicted_clients"],
+        # .get(): checkpoints written before the fault subsystem carry none
+        # of these; a zeroed ledger is exactly their state.
+        worker_restarts=payload.get("worker_restarts", 0),
+        retries=payload.get("retries", 0),
+        failed_updates=payload.get("failed_updates", 0),
+        quarantined_updates=payload.get("quarantined_updates", 0),
+        faults=[
+            FaultRecord(
+                round_idx=f["round_idx"],
+                kind=f["kind"],
+                action=f["action"],
+                client_id=f["client_id"],
+                model_id=f["model_id"],
+                detail=f["detail"],
+                attempts=f["attempts"],
+            )
+            for f in payload.get("faults", [])
+        ],
     )
     for r in payload["rounds"]:
         sched = r["scheduler"]
@@ -257,6 +352,7 @@ def log_from_state(payload: dict) -> TrainingLog:
                         staleness=a["staleness"],
                         dropped=a["dropped"],
                         downsized=a["downsized"],
+                        quarantined=a.get("quarantined", False),
                     )
                     for a in r["arrivals"]
                 ],

@@ -8,7 +8,7 @@ import numpy as np
 
 from .types import TrainingLog
 
-__all__ = ["RunSummary", "summarize", "iqr"]
+__all__ = ["RunSummary", "summarize", "recovery_summary", "iqr"]
 
 
 def iqr(values: np.ndarray) -> float:
@@ -63,3 +63,20 @@ def summarize(log: TrainingLog) -> RunSummary:
         num_models=log.rounds[-1].num_models if log.rounds else 1,
         rounds_run=len(log.rounds),
     )
+
+
+def recovery_summary(log: TrainingLog) -> dict[str, int]:
+    """Fault-tolerance counters of a run, as one flat dict.
+
+    Kept separate from :meth:`RunSummary.row` on purpose: the summary row
+    feeds the paper tables and must stay identical between a fault-free
+    run and a crash-recovered one (CONTRACTS.md I10); recovery telemetry
+    is exactly what differs between those two.
+    """
+    return {
+        "worker_restarts": log.worker_restarts,
+        "retries": log.retries,
+        "failed_updates": log.failed_updates,
+        "quarantined_updates": log.quarantined_updates,
+        "fault_records": len(log.faults),
+    }

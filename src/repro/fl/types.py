@@ -14,6 +14,7 @@ __all__ = [
     "FLClient",
     "ClientUpdate",
     "ArrivalRecord",
+    "FaultRecord",
     "SchedulerRecord",
     "RoundRecord",
     "EvalRecord",
@@ -121,6 +122,38 @@ class ArrivalRecord:
     staleness: int
     dropped: bool
     downsized: bool = False
+    # The arrival reached the server but every one of its updates failed
+    # validation (NaN/Inf or norm-outlier) and was diverted to the
+    # quarantine ledger: costs are metered like a kept arrival (the
+    # upload landed), but it buffers nothing toward aggregation.
+    quarantined: bool = False
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One recovery or quarantine action in the fault ledger.
+
+    ``kind`` classifies the failure (``worker_crash`` / ``task_error`` /
+    ``shm`` / ``shm_publish`` / ``update_rejected``); ``action`` records
+    what the engine did about it (``pool_rebuild`` / ``retry`` /
+    ``failed`` / ``quarantined``).  ``round_idx`` is the training round
+    (sync) or aggregation-step/dispatch-wave index (async); -1 for
+    actions outside any training round (evaluation waves).  Work-item
+    actions carry ``client_id``/``model_id``; pool-level actions leave
+    them ``None``.  The ledger exports via
+    :func:`~repro.fl.export.recovery_to_dict`, deliberately *outside* the
+    run export — recovery telemetry necessarily differs between a faulty
+    and a fault-free run whose trajectories are bit-identical
+    (CONTRACTS.md I10).
+    """
+
+    round_idx: int
+    kind: str
+    action: str
+    client_id: int | None = None
+    model_id: str | None = None
+    detail: str = ""
+    attempts: int = 0
 
 
 @dataclass(frozen=True)
@@ -223,6 +256,20 @@ class TrainingLog:
     # smaller compatible model, and clients the sparse utility store evicted.
     downsized_updates: int = 0
     evicted_clients: int = 0
+    # Fault-tolerance meters (repro.fl.faults).  ``worker_restarts`` counts
+    # process-pool rebuilds after a BrokenProcessPool; ``retries`` counts
+    # re-dispatched work items and snapshot republishes; ``failed_updates``
+    # counts work items that exhausted their retry budget (their clients
+    # are excluded from the round, like drops); ``quarantined_updates``
+    # counts updates the validator diverted from aggregation.  ``faults``
+    # is the full ledger of FaultRecord actions, exported separately from
+    # the run export (see recovery_to_dict) so a crash-recovered run's
+    # trajectory export stays byte-identical to the fault-free run's.
+    worker_restarts: int = 0
+    retries: int = 0
+    failed_updates: int = 0
+    quarantined_updates: int = 0
+    faults: list[FaultRecord] = field(default_factory=list)
 
     # ---- headline metrics -------------------------------------------------
     def final_eval(self) -> EvalRecord:

@@ -1,6 +1,6 @@
 """repro-lint rule engine + runtime sanitizer (repro.analysis).
 
-Static side: every rule RL001-RL007 gets a violating fixture snippet and
+Static side: every rule RL001-RL009 gets a violating fixture snippet and
 its compliant rewrite (linted in-memory under a virtual path, which is
 what drives rule scoping), plus pragma suppression semantics and the
 CLI.  The whole repo tree must lint clean with zero suppressions.
@@ -633,6 +633,99 @@ class TestRL008:
 
 
 # ----------------------------------------------------------------------
+# RL009 silent-except
+# ----------------------------------------------------------------------
+class TestRL009:
+    def test_bare_except_pass_fires(self):
+        report = _lint(
+            """\
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+            """
+        )
+        assert _ids(report) == ["RL009"]
+
+    def test_broad_except_pass_fires(self):
+        for caught in ("Exception", "BaseException"):
+            report = _lint(
+                f"""\
+                def f():
+                    try:
+                        g()
+                    except {caught}:
+                        pass
+                """
+            )
+            assert _ids(report) == ["RL009"], caught
+
+    def test_broad_tuple_member_fires(self):
+        report = _lint(
+            """\
+            def f():
+                try:
+                    g()
+                except (OSError, Exception):
+                    ...
+            """
+        )
+        assert _ids(report) == ["RL009"]
+
+    def test_narrow_except_pass_is_quiet(self):
+        report = _lint(
+            """\
+            def f():
+                try:
+                    g()
+                except FileNotFoundError:
+                    pass
+            """
+        )
+        assert _ids(report) == []
+
+    def test_observable_handler_is_quiet(self):
+        report = _lint(
+            """\
+            import logging
+
+            def f():
+                try:
+                    g()
+                except Exception as err:
+                    logging.getLogger(__name__).warning("g failed: %s", err)
+            """
+        )
+        assert _ids(report) == []
+
+    def test_reraise_is_quiet(self):
+        report = _lint(
+            """\
+            def f():
+                try:
+                    g()
+                except Exception:
+                    raise
+            """
+        )
+        assert _ids(report) == []
+
+    def test_outside_fl_is_out_of_scope(self):
+        report = _lint(
+            """\
+            def f():
+                try:
+                    g()
+                except Exception:
+                    pass
+            """,
+            "src/repro/nn/fixture.py",
+        )
+        assert _ids(report) == []
+
+
+# ----------------------------------------------------------------------
 # pragma suppression
 # ----------------------------------------------------------------------
 class TestPragmas:
@@ -702,7 +795,7 @@ class TestEngineAndCli:
         assert ids == sorted(ids)
         assert set(RULES_BY_ID) == {
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-            "RL008",
+            "RL008", "RL009",
         }
         assert all(r.summary for r in RULES)
 
@@ -860,10 +953,10 @@ class TestSanitizerEndToEnd:
         write mid-round raises the same way."""
         orig = ProcessPoolRoundExecutor._publish
 
-        def evil(self, models):
+        def evil(self, models, fault_attempt=0):
             arr = next(iter(next(iter(models.values())).params().values()))
             arr[0, 0] += 1.0
-            return orig(self, models)
+            return orig(self, models, fault_attempt=fault_attempt)
 
         monkeypatch.setattr(ProcessPoolRoundExecutor, "_publish", evil)
         coord = _coordinator("process")

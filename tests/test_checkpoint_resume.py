@@ -29,6 +29,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import sanitize
+from repro.atomicio import atomic_write
 from repro.baselines import fedavg
 from repro.data import SyntheticTaskConfig, build_federated_dataset
 from repro.device import DeviceTrace
@@ -475,3 +476,113 @@ class TestSigkillResume:
         assert proc.returncode == 0, proc.stderr
         assert out.read_text() == ref
         assert load_checkpoint(run_dir)["manifest"]["completed"] is True
+
+
+# ----------------------------------------------------------------------
+# atomic_write failure paths (repro.atomicio)
+# ----------------------------------------------------------------------
+class TestAtomicWriteFailurePaths:
+    """A failed atomic_write must leave the previous file intact — never
+    torn, never half-replaced — and clean up its temp file."""
+
+    @staticmethod
+    def _no_tmp_litter(tmp_path, allow=0):
+        return len(list(tmp_path.glob("*.tmp-*"))) == allow
+
+    def test_fsync_failure_leaves_old_file(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+        target.write_text("old complete content")
+        real_fsync = os.fsync
+
+        def failing_fsync(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(os, "fsync", failing_fsync)
+        with pytest.raises(OSError, match="No space left"):
+            with atomic_write(target, "w", encoding="utf-8") as f:
+                f.write("new content that must not land")
+        monkeypatch.setattr(os, "fsync", real_fsync)
+        assert target.read_text() == "old complete content"
+        assert self._no_tmp_litter(tmp_path)
+
+    def test_replace_failure_leaves_old_file(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+        target.write_text("old complete content")
+
+        def failing_replace(src, dst):
+            raise PermissionError(13, "Permission denied")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(PermissionError):
+            with atomic_write(target, "w", encoding="utf-8") as f:
+                f.write("new content that must not land")
+        assert target.read_text() == "old complete content"
+        assert self._no_tmp_litter(tmp_path)
+
+    def test_exception_in_body_leaves_old_file(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old bytes")
+        with pytest.raises(RuntimeError, match="mid-write"):
+            with atomic_write(target) as f:
+                f.write(b"half of the new")
+                raise RuntimeError("producer died mid-write")
+        assert target.read_bytes() == b"old bytes"
+        assert self._no_tmp_litter(tmp_path)
+
+    def test_failure_with_no_previous_file(self, tmp_path, monkeypatch):
+        """First-ever write failing must not conjure a partial target."""
+        target = tmp_path / "fresh.json"
+
+        def failing_replace(src, dst):
+            raise OSError(5, "I/O error")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            with atomic_write(target, "w", encoding="utf-8") as f:
+                f.write("never lands")
+        assert not target.exists()
+        assert self._no_tmp_litter(tmp_path)
+
+    def test_property_old_or_new_never_torn(self, tmp_path, monkeypatch):
+        """Inject a failure at every step of every write in a chain of
+        versions: after each attempt the file holds exactly one previous
+        *complete* version — the invariant checkpoint resume rides on."""
+        target = tmp_path / "versioned.txt"
+        contents = [f"version {i:03d} " + "x" * (20 * (i + 1)) for i in range(8)]
+        committed = None
+        real_fsync, real_replace = os.fsync, os.replace
+        rng = np.random.default_rng(42)
+        fail_steps = ["fsync", "replace", "body", None]
+        for i, content in enumerate(contents):
+            step = fail_steps[int(rng.integers(len(fail_steps)))] if i < len(
+                contents
+            ) - 1 else None  # last write always succeeds
+            if step == "fsync":
+                monkeypatch.setattr(
+                    os, "fsync", lambda fd: (_ for _ in ()).throw(OSError("disk"))
+                )
+            elif step == "replace":
+                monkeypatch.setattr(
+                    os,
+                    "replace",
+                    lambda s, d: (_ for _ in ()).throw(OSError("denied")),
+                )
+            try:
+                with atomic_write(target, "w", encoding="utf-8") as f:
+                    f.write(content)
+                    if step == "body":
+                        raise RuntimeError("producer died")
+            except (OSError, RuntimeError):
+                assert step is not None
+            else:
+                assert step is None
+                committed = content
+            finally:
+                monkeypatch.setattr(os, "fsync", real_fsync)
+                monkeypatch.setattr(os, "replace", real_replace)
+            if committed is None:
+                assert not target.exists()
+            else:
+                assert target.read_text() == committed  # old-or-new, never torn
+            assert self._no_tmp_litter(tmp_path)
+        assert committed == contents[-1]

@@ -440,6 +440,10 @@ class TestConfigValidation:
             pacing = "static"
             straggler = "drop"
             dtype = None
+            faults = None
+            retries = None
+            quarantine = False
+            quarantine_norm_mult = None
             checkpoint_dir = None
             checkpoint_every = None
             resume = False
