@@ -1,0 +1,137 @@
+"""Compressed transport turns deadline drops into on-time arrivals.
+
+Run:  python examples/compressed_fleet.py
+
+A quarter of this fleet sits behind a ~10x slower uplink.  Under async
+pacing with a deadline (``--mode async --pacing ... --deadline``), those
+devices train fast enough but cannot *upload* a raw float64 update in
+time — every round they get dropped and their work is wasted.
+
+``--compress update:topk0.05+int8,snapshot:rle --wire-time`` shrinks the
+update to ~2% of its raw size and re-prices the upload leg of the
+simulated clock (``CoordinatorConfig.wire_time``).  The same devices now
+make the same deadline: fewer drops, more data per aggregate, and a
+faster simulated clock to the same accuracy.  The byte ledger
+(``TrainingLog.total_raw_bytes_up`` vs ``total_bytes_up``) shows what the
+codec saved; note ``wire_time`` is honest about what compression does
+*not* fix — the model download leg still pays full price.
+"""
+
+import numpy as np
+
+from repro import (
+    Coordinator,
+    CoordinatorConfig,
+    FLClient,
+    LocalTrainerConfig,
+    fedavg,
+    mlp,
+)
+from repro.data import SyntheticTaskConfig, build_federated_dataset
+from repro.device.traces import DeviceTrace
+
+TRAINER = LocalTrainerConfig(batch_size=10, local_steps=10, lr=0.15)
+COMPRESS = "update:topk0.05+int8,snapshot:rle"
+
+
+def build_workload(seed: int = 0):
+    """24 clients; every fourth device has a ~10x slower uplink."""
+    task = SyntheticTaskConfig(
+        num_classes=6,
+        input_shape=(16,),
+        latent_dim=8,
+        teacher_width=16,
+        class_sep=2.5,
+        seed=seed,
+    )
+    dataset = build_federated_dataset(task, 24, mean_samples=40, seed=seed)
+    clients = [
+        FLClient(
+            c.client_id,
+            c,
+            DeviceTrace(
+                c.client_id,
+                1e9,  # compute is NOT the bottleneck here
+                1e5 if c.client_id % 4 == 0 else 1e6,  # 10x network gap
+                1e15,
+            ),
+        )
+        for c in dataset.clients
+    ]
+    rng = np.random.default_rng(seed)
+    model = mlp(dataset.input_shape, dataset.num_classes, rng, width=32)
+    return clients, model
+
+
+def run(seed: int = 0, **knobs):
+    clients, model = build_workload(seed)
+    coordinator = Coordinator(
+        fedavg(model.clone(keep_id=True)),
+        clients,
+        CoordinatorConfig(
+            rounds=20,
+            clients_per_round=8,
+            trainer=TRAINER,
+            eval_every=10,
+            seed=seed,
+            **knobs,
+        ),
+    )
+    return coordinator.run()
+
+
+def main() -> None:
+    # Price one raw upload over the slow uplink to pick a deadline the
+    # slow quarter can only meet with a compressed update.
+    clients, model = build_workload()
+    slow = next(c for c in clients if c.client_id % 4 == 0)
+    raw_upload_s = model.nbytes() / slow.device.bandwidth
+    deadline = 1.4 * raw_upload_s  # covers download + train, not 2 legs
+
+    configs = {
+        "raw": {},
+        "compressed": {"compress": COMPRESS, "wire_time": True},
+    }
+    logs = {}
+    for name, knobs in configs.items():
+        logs[name] = run(
+            mode="async", buffer_k=4, deadline_s=deadline, **knobs
+        )
+
+    print(f"async pacing, deadline {deadline:.2f} simulated s per client\n")
+    target = 0.9 * max(log.best_eval().mean_accuracy for log in logs.values())
+    for name, log in logs.items():
+        t = log.time_to_accuracy(target)
+        reach = f"{t:8.2f}" if t is not None else "   never"
+        wire = log.total_bytes_up
+        raw = log.total_raw_bytes_up
+        print(
+            f"{name:>12}: {log.dropped_updates:3d} deadline drops, "
+            f"{log.simulated_time():8.2f} simulated s total, "
+            f"{reach} s to {target:.0%}, "
+            f"final accuracy {log.final_accuracy():.1%}, "
+            f"update bytes {raw / 1e6:.2f} MB raw -> {wire / 1e6:.2f} MB wire"
+        )
+
+    def on_time_slow(log):
+        return {
+            a.client_id
+            for r in log.rounds
+            for a in r.arrivals
+            if not a.dropped and a.client_id % 4 == 0
+        }
+
+    raw_log, comp_log = logs["raw"], logs["compressed"]
+    assert comp_log.dropped_updates < raw_log.dropped_updates
+    assert comp_log.total_bytes_up < raw_log.total_bytes_up / 10
+    assert on_time_slow(comp_log) > on_time_slow(raw_log)  # strict superset
+    print(
+        "\ncompression fits the slow quarter inside the deadline: "
+        f"{raw_log.dropped_updates} -> {comp_log.dropped_updates} drops at "
+        f"{raw_log.total_bytes_up / comp_log.total_bytes_up:.0f}x fewer "
+        "update bytes"
+    )
+
+
+if __name__ == "__main__":
+    main()

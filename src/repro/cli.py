@@ -34,7 +34,7 @@ from .bench.profiles import DATASETS, PROFILES
 from .bench.workloads import METHODS
 from .fl.executor import EXECUTOR_BACKENDS
 from .fl.scheduling import PACING_POLICIES, SELECTOR_POLICIES, STRAGGLER_POLICIES
-from .fl.export import log_to_dict, save_log, save_recovery
+from .fl.export import log_to_dict, save_log, save_recovery, save_transport
 from .fl.metrics import recovery_summary
 from .nn.compute import COMPUTE_DTYPES, set_compute_dtype
 from .nn.serialization import save_model
@@ -117,6 +117,25 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="write the fault-recovery ledger JSON here (separate "
                         "from --save-log: the run export stays byte-identical "
                         "to a fault-free run's, recovery telemetry does not)")
+    p.add_argument("--compress", type=str, default=None, metavar="SPEC",
+                   help="transport codec spec, e.g. "
+                        "'update:int8+topk0.01,snapshot:rle'.  update codecs: "
+                        "rle (lossless), int8/bf16 quantization and topk<rate> "
+                        "sparsification (lossy, with server-side error "
+                        "feedback); snapshot:rle delta-encodes shared-memory "
+                        "publishes (lossless).  Lossy specs change the "
+                        "trajectory and must be declared here (CONTRACTS.md "
+                        "I11)")
+    p.add_argument("--wire-time", action="store_true", default=False,
+                   help="re-price each client's upload leg at its compressed "
+                        "size, so compression shortens simulated round time "
+                        "(requires --compress with an update section)")
+    p.add_argument("--save-transport", type=Path, default=None,
+                   help="write the transport-cost ledger JSON here (raw vs "
+                        "on-wire bytes per round for both the update and "
+                        "snapshot-publish directions; separate from "
+                        "--save-log because publish telemetry is barred from "
+                        "the run export by CONTRACTS.md I10)")
     p.add_argument("--checkpoint-dir", type=Path, default=None,
                    help="run-registry root for durable runs: each run "
                         "checkpoints into a subdirectory keyed by its config "
@@ -186,6 +205,12 @@ def _coordinator_overrides(args) -> dict:
         if not args.quarantine:
             raise SystemExit("--quarantine-norm-mult requires --quarantine")
         over["quarantine_norm_mult"] = args.quarantine_norm_mult
+    if args.compress is not None:
+        over["compress"] = args.compress
+    if args.wire_time:
+        if args.compress is None:
+            raise SystemExit("--wire-time requires --compress with an update section")
+        over["wire_time"] = True
     if args.checkpoint_every is not None or args.resume:
         if args.checkpoint_dir is None:
             raise SystemExit("--checkpoint-every/--resume require --checkpoint-dir")
@@ -249,6 +274,9 @@ def cmd_run(args) -> int:
     if args.save_recovery:
         save_recovery(res.log, args.save_recovery)
         print(f"recovery ledger written to {args.save_recovery}")
+    if args.save_transport:
+        save_transport(res.log, args.save_transport)
+        print(f"transport ledger written to {args.save_transport}")
     rec = recovery_summary(res.log)
     if any(rec.values()):
         print(

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..fl.transport import TransportConfig
 from ..nn.compute import COMPUTE_DTYPES
 
 __all__ = ["FedTransConfig", "PAPER_DEFAULTS"]
@@ -123,6 +124,12 @@ class FedTransConfig:
     utility_clamp: float = 5.0
     evict_after: int | None = None
     compute_dtype: str | None = None
+    # Transport codec spec for the round loop (repro.fl.transport), e.g.
+    # "update:int8+topk0.01,snapshot:rle".  None keeps transport raw.
+    # Lossy specs change the trajectory and must be declared explicitly
+    # (CONTRACTS.md I11); the bench harness forwards this into
+    # CoordinatorConfig.compress.
+    compress: str | None = None
     gradient_cell_selection: bool = True
     soft_aggregation: bool = True
     warmup: bool = True
@@ -159,6 +166,8 @@ class FedTransConfig:
                 f"compute_dtype must be one of {COMPUTE_DTYPES} or None "
                 f"(inherit), got {self.compute_dtype!r}"
             )
+        if self.compress is not None:
+            TransportConfig.parse(self.compress)  # raises ValueError on a bad spec
 
     def scaled(self, **overrides) -> "FedTransConfig":
         """A copy with fields replaced (bench profiles shrink γ/δ)."""

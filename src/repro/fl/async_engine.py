@@ -188,6 +188,7 @@ class BufferedAsyncEngine(Stateful):
         rng: np.random.Generator,
         selector: ClientSelector | None = None,
         validator: UpdateValidator | None = None,
+        transport=None,  # TransportCodec | None (coordinator-owned)
     ):
         self.strategy = strategy
         self.clients = clients
@@ -195,6 +196,8 @@ class BufferedAsyncEngine(Stateful):
         self.executor = executor
         self.rng = rng
         self.validator = validator
+        self.transport = transport
+        self._devices = {c.client_id: c.device for c in clients}
         self.clock = VirtualClock()
         self.buffer_k = config.buffer_k or max(1, config.clients_per_round // 2)
         self.concurrency = min(
@@ -302,6 +305,22 @@ class BufferedAsyncEngine(Stateful):
             for it, r in zip(items, results)
             if isinstance(r, ItemFailure)
         }
+        # Transport encode at *dispatch*: the update crosses the wire
+        # against the dispatch-time server models (exactly what ``models``
+        # holds — the server may aggregate before this arrival lands), and
+        # with ``wire_time`` the re-priced round_time must be known before
+        # the finish event is scheduled below.  Item order keeps the
+        # error-feedback residual stream deterministic.
+        if self.transport is not None and self.transport.config.has_update:
+            for item, update in zip(items, results):
+                if item.client_id in failed_ids:
+                    continue
+                self.transport.encode_update(
+                    update,
+                    models.get(item.model_id),
+                    device=self._devices[item.client_id],
+                    wire_time=self.config.wire_time,
+                )
         per_client: dict[int, list[ClientUpdate]] = {}
         for item, update in zip(items, results):
             if item.client_id not in failed_ids:
@@ -362,6 +381,7 @@ class BufferedAsyncEngine(Stateful):
         step_macs = 0.0
         bytes_down = 0
         bytes_up = 0
+        raw_bytes_up = 0
         consecutive_drops = 0
         consecutive_quarantines = 0
         drop_limit = max(64, 8 * self.concurrency)
@@ -411,6 +431,7 @@ class BufferedAsyncEngine(Stateful):
             # The arrival reached the server: the upload is charged before
             # validation (a quarantined update still crossed the network).
             bytes_up += sum(u.bytes_up for u in pending.updates)
+            raw_bytes_up += sum(u.raw_bytes_up for u in pending.updates)
             kept = pending.updates
             if self.validator is not None:
                 kept = []
@@ -479,6 +500,7 @@ class BufferedAsyncEngine(Stateful):
         log.total_macs += step_macs
         log.total_bytes_down += bytes_down
         log.total_bytes_up += bytes_up
+        log.total_raw_bytes_up += raw_bytes_up
         log.downsized_updates += self._step_downsized
         events = list(events or [])
         events.extend(self._step_events)
@@ -505,6 +527,7 @@ class BufferedAsyncEngine(Stateful):
             macs=step_macs,
             bytes_down=bytes_down,
             bytes_up=bytes_up,
+            raw_bytes_up=raw_bytes_up,
             round_time=float(self.clock.now - t_start),
             num_models=len(self.strategy.models()),
             events=events,

@@ -116,4 +116,5 @@ class LocalTrainer:
             bytes_down=nbytes,
             bytes_up=nbytes,
             round_time=rt,
+            raw_bytes_up=nbytes,
         )

@@ -180,6 +180,7 @@ from .scheduling import (
     make_selector,
 )
 from .strategy import Strategy
+from .transport import TransportCodec, TransportConfig
 from .types import (
     EvalRecord,
     FaultRecord,
@@ -275,6 +276,19 @@ class CoordinatorConfig:
     retries: int | None = None
     quarantine: bool = False
     quarantine_norm_mult: float = 8.0
+    # Transport codec (repro.fl.transport): a spec like
+    # "update:int8+topk0.01,snapshot:rle" compresses client→server updates
+    # and/or server→worker snapshot segments; None disables.  Lossless
+    # specs (rle-only) leave the trajectory bit-identical; lossy codecs
+    # (int8/bf16/topk) change it and must be declared here — they are
+    # banned from golden-pinned defaults (CONTRACTS.md I11).  Both knobs
+    # are trajectory-affecting and therefore part of the run hash.
+    compress: str | None = None
+    # Re-price each update's simulated upload leg at its on-wire size, so
+    # compression shows up in round_time (and in async event ordering) —
+    # the bandwidth cost model turning fewer bytes into faster rounds.
+    # Off by default: lossless codecs then keep round_time untouched.
+    wire_time: bool = False
     # Durable runs (module docstring).  ``checkpoint_dir`` is the registry
     # root — the run's own directory inside it is derived from the config
     # hash, so distinct experiments never clobber each other.  All three
@@ -352,6 +366,18 @@ class CoordinatorConfig:
             raise ValueError(f"quarantine must be a bool, got {self.quarantine!r}")
         # Delegates range checking (>= 0; 0 disables the norm gate).
         QuarantineConfig(norm_multiplier=self.quarantine_norm_mult)
+        if self.compress is not None:
+            TransportConfig.parse(self.compress)  # raises ValueError on a bad spec
+        if not isinstance(self.wire_time, bool):
+            raise ValueError(f"wire_time must be a bool, got {self.wire_time!r}")
+        if self.wire_time and (
+            self.compress is None
+            or not TransportConfig.parse(self.compress).has_update
+        ):
+            raise ValueError(
+                "wire_time=True requires a compress spec with an update "
+                "section (there is no wire size to re-price otherwise)"
+            )
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if not isinstance(self.resume, bool):
@@ -400,12 +426,27 @@ class Coordinator(Stateful):
             if config.retries is not None
             else (RetryPolicy() if fault_config is not None else None)
         )
+        # Transport codec: the update half lives here (one codec instance
+        # sees every update in deterministic order — its error-feedback
+        # residuals are run state); the snapshot half ships to the executor
+        # as config.  An injected executor keeps its own transport setting.
+        self._transport_config = (
+            TransportConfig.parse(config.compress) if config.compress else None
+        )
+        self.transport = (
+            TransportCodec(self._transport_config)
+            if self._transport_config is not None
+            else None
+        )
+        # Last-seen executor publish counters (raw, wire): per-round and
+        # per-eval deltas split snapshot bytes for the transport ledger.
+        self._pub_seen = (0, 0)
         # An injected executor is caller-owned (and caller-closed); a
         # config-built one belongs to this coordinator.
         self._owns_executor = executor is None
         self.executor = executor or make_executor(
             config.executor, clients, config.trainer, config.seed, config.max_workers,
-            faults=fault_config, retry=retry,
+            faults=fault_config, retry=retry, transport=self._transport_config,
         )
         self.validator = (
             UpdateValidator(
@@ -418,7 +459,7 @@ class Coordinator(Stateful):
         self._async_engine = (
             BufferedAsyncEngine(
                 strategy, clients, config, self.executor, self._rng, self.selector,
-                validator=self.validator,
+                validator=self.validator, transport=self.transport,
             )
             if config.mode == "async"
             else None
@@ -482,6 +523,12 @@ class Coordinator(Stateful):
             "validator": (
                 self.validator.state_dict() if self.validator is not None else None
             ),
+            # Transport codec state (error-feedback residuals): lossy
+            # compressed runs must resume with the exact residual stream
+            # the uninterrupted run would carry (CONTRACTS.md I9/I11).
+            "transport": (
+                self.transport.state_dict() if self.transport is not None else None
+            ),
             # The eval caches must travel or a resumed sweep would recompute
             # groups the uninterrupted run served from cache, skewing the
             # cached/evaluated meters on the next EvalRecord.  Tuple keys
@@ -535,6 +582,11 @@ class Coordinator(Stateful):
         validator_payload = payload.get("validator")
         if self.validator is not None and validator_payload is not None:
             self.validator.load_state_dict(validator_payload)
+        # .get(): checkpoints from before the transport codec carry no
+        # entry; an uncompressed resume of one is fine.
+        transport_payload = payload.get("transport")
+        if self.transport is not None and transport_payload is not None:
+            self.transport.load_state_dict(transport_payload)
         self._eval_acc_cache = {
             (
                 tuple(e["model_ids"]),
@@ -572,7 +624,15 @@ class Coordinator(Stateful):
         already completed, which makes resume idempotent under kill loops.
         """
         cfg = self.config
-        log = TrainingLog(strategy=self.strategy.name, mode=cfg.mode)
+        log = TrainingLog(
+            strategy=self.strategy.name,
+            mode=cfg.mode,
+            compress=(
+                self._transport_config.spec
+                if self._transport_config is not None
+                else None
+            ),
+        )
         acc_history: list[float] = []
         start_round = 0
         writer: CheckpointWriter | None = None
@@ -604,6 +664,7 @@ class Coordinator(Stateful):
                 if (round_idx + 1) % cfg.eval_every == 0 or round_idx == cfg.rounds - 1:
                     ev = self.evaluate(round_idx, log.total_macs)
                     self._drain_faults(log)  # eval waves can heal/retry too
+                    self._absorb_publish(log)  # eval waves publish too
                     log.evals.append(ev)
                     acc_history.append(ev.mean_accuracy)
                     if self._converged(acc_history):
@@ -626,6 +687,7 @@ class Coordinator(Stateful):
             if not log.evals or log.evals[-1].round_idx != log.stopped_round:
                 log.evals.append(self.evaluate(log.stopped_round, log.total_macs))
                 self._drain_faults(log)
+                self._absorb_publish(log)
             if writer is not None:
                 # Terminal checkpoint: marks the run finished so a later
                 # --resume returns this log instead of training again.
@@ -653,6 +715,32 @@ class Coordinator(Stateful):
         recent = acc_history[-p:]
         baseline = max(acc_history[:-p])
         return max(recent) - baseline <= self.config.convergence_delta
+
+    # ------------------------------------------------------------------
+    def _absorb_publish(
+        self, log: TrainingLog, record: RoundRecord | None = None
+    ) -> tuple[int, int]:
+        """Fold new snapshot publish bytes into the transport ledger.
+
+        Returns the (raw, wire) delta since the previous call and adds it
+        to the log totals (and to ``record`` when given).  Only the
+        process backend publishes; other executors stay at zero.  This is
+        infrastructure telemetry — it never enters the trajectory export
+        (CONTRACTS.md I10).
+        """
+        ex = self.executor
+        cur = (
+            int(getattr(ex, "raw_bytes_published_total", 0)),
+            int(getattr(ex, "bytes_published_total", 0)),
+        )
+        raw_d, wire_d = cur[0] - self._pub_seen[0], cur[1] - self._pub_seen[1]
+        self._pub_seen = cur
+        log.publish_raw_bytes_total += raw_d
+        log.publish_wire_bytes_total += wire_d
+        if record is not None:
+            record.publish_raw_bytes = raw_d
+            record.publish_wire_bytes = wire_d
+        return raw_d, wire_d
 
     # ------------------------------------------------------------------
     def _drain_faults(self, log: TrainingLog) -> None:
@@ -708,6 +796,7 @@ class Coordinator(Stateful):
         if self._async_engine is not None:
             record = self._async_engine.step(round_idx, log)
             self._drain_faults(log)
+            self._absorb_publish(log, record)
             return record
         cfg = self.config
         participants = self.selector.select(
@@ -738,6 +827,23 @@ class Coordinator(Stateful):
             else:
                 pairs.append((item, result))
 
+        # Transport encode: each surviving update is re-encoded against the
+        # dispatch-time server model (``models`` is untouched until the
+        # aggregate below), in deterministic item order — error-feedback
+        # residuals advance identically on every backend.  This happens
+        # before cost metering (bytes_up becomes the on-wire size, and
+        # wire_time re-prices the upload leg of round_time) and before
+        # quarantine (poisoned tensors pass through the codec raw, so the
+        # NaN scan still sees them).
+        if self.transport is not None and self._transport_config.has_update:
+            for item, update in pairs:
+                self.transport.encode_update(
+                    update,
+                    models.get(item.model_id),
+                    device=self.executor.clients_by_id[item.client_id].device,
+                    wire_time=cfg.wire_time,
+                )
+
         # A client's sub-models train sequentially on-device, clients in
         # parallel across the fleet: per-client sum, fleet-wide max.
         # Quarantined updates still count: the device trained and uploaded
@@ -749,6 +855,7 @@ class Coordinator(Stateful):
         macs = float(sum(u.macs_spent for _, u in pairs))
         bdown = sum(u.bytes_down for _, u in pairs)
         bup = sum(u.bytes_up for _, u in pairs)
+        braw = sum(u.raw_bytes_up for _, u in pairs)
 
         survivors = self._quarantine(round_idx, pairs, log, events)
         updates = [u for _, u in survivors]
@@ -763,6 +870,7 @@ class Coordinator(Stateful):
         log.total_macs += macs
         log.total_bytes_down += bdown
         log.total_bytes_up += bup
+        log.total_raw_bytes_up += braw
         if len(participants) < cfg.clients_per_round:
             events.append(
                 f"under-provisioned round: selected {len(participants)} of "
@@ -771,7 +879,7 @@ class Coordinator(Stateful):
         counters = self.strategy.scheduler_counters()
         evicted = int(counters.get("evicted", 0))
         log.evicted_clients += evicted
-        return RoundRecord(
+        record = RoundRecord(
             round_idx=round_idx,
             participants=[c.client_id for c in participants],
             assignments=assignments,
@@ -790,7 +898,10 @@ class Coordinator(Stateful):
                 selected=len(participants),
                 evicted=evicted,
             ),
+            raw_bytes_up=braw,
         )
+        self._absorb_publish(log, record)
+        return record
 
     # ------------------------------------------------------------------
     def evaluate(self, round_idx: int, cumulative_macs: float) -> EvalRecord:

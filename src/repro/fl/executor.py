@@ -75,6 +75,7 @@ from ..nn.model import CellModel
 from ..stateful import Stateful, check_schema, schema_tag
 from . import shm as _shm
 from .client import LocalTrainer, LocalTrainerConfig
+from .transport import TransportConfig
 from .faults import (
     FaultConfig,
     FaultPlan,
@@ -298,6 +299,7 @@ class RoundExecutor(Stateful, ABC):
         *,
         faults: FaultConfig | None = None,
         retry: RetryPolicy | None = None,
+        transport: TransportConfig | None = None,
     ):
         self.clients_by_id = {c.client_id: c for c in clients}
         self.trainer_config = trainer_config
@@ -306,6 +308,10 @@ class RoundExecutor(Stateful, ABC):
         self.max_workers = max_workers
         self.faults = faults
         self.retry = retry
+        # Transport codec config: only the snapshot section matters to an
+        # executor (the in-process backends publish nothing, so they just
+        # carry it; the process backend run-length encodes delta segments).
+        self.transport = transport
         self.fault_plan = (
             FaultPlan(seed, faults)
             if faults is not None and faults.any_enabled()
@@ -489,9 +495,9 @@ class ThreadPoolRoundExecutor(RoundExecutor):
     backend = "thread"
 
     def __init__(self, clients, trainer_config, seed, max_workers=None, *,
-                 faults=None, retry=None):
+                 faults=None, retry=None, transport=None):
         super().__init__(clients, trainer_config, seed, max_workers,
-                         faults=faults, retry=retry)
+                         faults=faults, retry=retry, transport=transport)
         self._pool: concurrent.futures.ThreadPoolExecutor | None = None
 
     def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
@@ -646,8 +652,11 @@ def _proc_models(
     for ver, kind, name in chain[1:]:
         if ver <= cur:
             continue
+        # Deltas replay in publish order, so the worker's current suite is
+        # byte-for-byte the state the coordinator run-length encoded
+        # against (when snapshot compression is on; raw deltas ignore it).
         _, changed, removed, all_ids = _shm.read_snapshot_segment(
-            _worker_segment(name, chain)
+            _worker_segment(name, chain), prev_models=models
         )
         models.update(changed)
         for rid in removed:
@@ -718,9 +727,9 @@ class ProcessPoolRoundExecutor(RoundExecutor):
     backend = "process"
 
     def __init__(self, clients, trainer_config, seed, max_workers=None, *,
-                 faults=None, retry=None):
+                 faults=None, retry=None, transport=None):
         super().__init__(clients, trainer_config, seed, max_workers,
-                         faults=faults, retry=retry)
+                         faults=faults, retry=retry, transport=transport)
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
         self._version = 0
         # (version, "full" | "delta", segment name) of every retained
@@ -740,12 +749,21 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         # statically and this watch catches dynamically.
         self._version_watch = _sanitize.VersionWatch()
         self._deltas_since_full = 0
-        # Publish metering (public: read by benchmarks and tests).
+        # Snapshot transport codec: when the config asks for snapshot rle,
+        # delta segments are byte-diffed against the shadow — each tensor's
+        # bytes as of its previous publish, exactly the state workers hold
+        # when they replay the delta (see shm.write_snapshot_segment).
+        self._snapshot_rle = bool(transport is not None and transport.snapshot_rle)
+        self._shadow: dict[tuple[str, str, str], bytes] = {}
+        # Publish metering (public: read by benchmarks and tests).  Byte
+        # counters are on-wire segment payload sizes; the raw counter keeps
+        # the uncompressed total so the transport ledger can report both.
         self.publish_count = 0
         self.full_publish_count = 0
         self.delta_publish_count = 0
         self.reused_publish_count = 0
         self.bytes_published_total = 0
+        self.raw_bytes_published_total = 0
         self.full_bytes_total = 0
         self.delta_bytes_total = 0
         self.last_publish_bytes = 0
@@ -795,6 +813,10 @@ class ProcessPoolRoundExecutor(RoundExecutor):
         self._chain = []
         self._published_versions = None
         self._deltas_since_full = 0
+        # Fresh workers rebase on a full (raw) snapshot, so the rle shadow
+        # restarts with them — a stale shadow would diff against bytes the
+        # new workers never held.
+        self._shadow.clear()
 
     def _publish(
         self, models: dict[str, CellModel], fault_attempt: int = 0
@@ -847,8 +869,11 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             or self._deltas_since_full >= FULL_SNAPSHOT_EVERY
         )
         name = f"{self._arena_prefix}-v{self._version}"
+        shadow = self._shadow if self._snapshot_rle else None
         if full:
-            seg, nbytes = _shm.write_snapshot_segment(name, "full", dict(models))
+            seg, nbytes, raw_nbytes = _shm.write_snapshot_segment(
+                name, "full", dict(models), shadow=shadow
+            )
             for _, _, old in self._chain:
                 shm_old = self._segments.pop(old, None)
                 if shm_old is not None:
@@ -860,18 +885,25 @@ class ProcessPoolRoundExecutor(RoundExecutor):
             self.full_publish_count += 1
             self.full_bytes_total += nbytes
         else:
-            seg, nbytes = _shm.write_snapshot_segment(
-                name, "delta", changed, removed, frozenset(models)
+            seg, nbytes, raw_nbytes = _shm.write_snapshot_segment(
+                name, "delta", changed, removed, frozenset(models),
+                rle=self._snapshot_rle, shadow=shadow,
             )
             self._segments[name] = seg
             self._chain.append((self._version, "delta", name))
             self._deltas_since_full += 1
             self.delta_publish_count += 1
             self.delta_bytes_total += nbytes
+        if shadow is not None:
+            # The shadow tracks the *current* suite only: retired models'
+            # bytes must never anchor a future diff.
+            for skey in [k for k in shadow if k[0] not in models]:
+                del shadow[skey]
         self._published_versions = versions
         self.publish_count += 1
         self.last_publish_bytes = nbytes
         self.bytes_published_total += nbytes
+        self.raw_bytes_published_total += raw_nbytes
         return self._version, tuple(self._chain)
 
     def _publish_resilient(
@@ -1099,6 +1131,7 @@ def make_executor(
     *,
     faults: FaultConfig | None = None,
     retry: RetryPolicy | None = None,
+    transport: TransportConfig | None = None,
 ) -> RoundExecutor:
     """Instantiate a round executor by backend name."""
     try:
@@ -1111,5 +1144,5 @@ def make_executor(
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
     return cls(
         clients, trainer_config, seed, max_workers=max_workers,
-        faults=faults, retry=retry,
+        faults=faults, retry=retry, transport=transport,
     )

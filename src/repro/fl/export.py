@@ -39,6 +39,8 @@ __all__ = [
     "load_log",
     "recovery_to_dict",
     "save_recovery",
+    "transport_to_dict",
+    "save_transport",
     "log_state_dict",
     "log_from_state",
 ]
@@ -50,13 +52,20 @@ def log_to_dict(log: TrainingLog) -> dict:
         "format": 1,
         "strategy": log.strategy,
         "mode": log.mode,
+        "compress": log.compress,
         "summary": summarize(log).row(),
         "stop_reason": log.stop_reason,
         "stopped_round": log.stopped_round,
+        # Trajectory-pure totals only: the upload-side raw/wire split is a
+        # deterministic function of the config + seed, so it belongs here;
+        # the *publish*-side split is executor telemetry that differs
+        # between healed and clean runs (I10) and is exported exclusively
+        # via transport_to_dict.
         "totals": {
             "macs": log.total_macs,
             "bytes_down": log.total_bytes_down,
             "bytes_up": log.total_bytes_up,
+            "raw_bytes_up": log.total_raw_bytes_up,
             "peak_storage_bytes": log.peak_storage_bytes,
             "dropped_updates": log.dropped_updates,
             "dropped_macs": log.dropped_macs,
@@ -192,6 +201,54 @@ def save_recovery(log: TrainingLog, path: str | Path) -> None:
 
 
 # ----------------------------------------------------------------------
+# transport-cost ledger export (separate from the run export on purpose)
+# ----------------------------------------------------------------------
+def transport_to_dict(log: TrainingLog) -> dict:
+    """JSON-serializable view of a run's transport-cost ledger.
+
+    The upload side (``bytes_up`` wire vs ``raw_bytes_up``) is trajectory
+    data, but the *publish* side is shared-memory executor telemetry: a
+    healed process pool republishes a full snapshot that a clean run never
+    writes, so the publish counters differ between the two and are barred
+    from :func:`log_to_dict` by CONTRACTS.md I10.  This ledger is where
+    both halves of the raw/on-wire split live together.
+    """
+    raw_up = log.total_raw_bytes_up
+    wire_up = log.total_bytes_up
+    return {
+        "format": 1,
+        "strategy": log.strategy,
+        "mode": log.mode,
+        "compress": log.compress,
+        "totals": {
+            "raw_bytes_up": raw_up,
+            "wire_bytes_up": wire_up,
+            "update_compression_ratio": (raw_up / wire_up) if wire_up else 1.0,
+            # Publish totals include eval-wave publishes, not just the
+            # per-round rows below.
+            "publish_raw_bytes": log.publish_raw_bytes_total,
+            "publish_wire_bytes": log.publish_wire_bytes_total,
+        },
+        "rounds": [
+            {
+                "round": r.round_idx,
+                "raw_bytes_up": r.raw_bytes_up,
+                "wire_bytes_up": r.bytes_up,
+                "publish_raw_bytes": r.publish_raw_bytes,
+                "publish_wire_bytes": r.publish_wire_bytes,
+            }
+            for r in log.rounds
+        ],
+    }
+
+
+def save_transport(log: TrainingLog, path: str | Path) -> None:
+    """Write the transport-ledger JSON (crash-consistent, like save_log)."""
+    with atomic_write(path, "w", encoding="utf-8") as f:
+        json.dump(transport_to_dict(log), f, indent=1)
+
+
+# ----------------------------------------------------------------------
 # checkpoint serialization (Stateful payload, not the export format)
 # ----------------------------------------------------------------------
 LOG_SCHEMA = schema_tag("TrainingLog")
@@ -203,9 +260,13 @@ def log_state_dict(log: TrainingLog) -> dict:
         "schema": LOG_SCHEMA,
         "strategy": log.strategy,
         "mode": log.mode,
+        "compress": log.compress,
         "total_macs": log.total_macs,
         "total_bytes_down": log.total_bytes_down,
         "total_bytes_up": log.total_bytes_up,
+        "total_raw_bytes_up": log.total_raw_bytes_up,
+        "publish_raw_bytes_total": log.publish_raw_bytes_total,
+        "publish_wire_bytes_total": log.publish_wire_bytes_total,
         "peak_storage_bytes": log.peak_storage_bytes,
         "stopped_round": log.stopped_round,
         "stop_reason": log.stop_reason,
@@ -241,6 +302,9 @@ def log_state_dict(log: TrainingLog) -> dict:
                 "macs": r.macs,
                 "bytes_down": r.bytes_down,
                 "bytes_up": r.bytes_up,
+                "raw_bytes_up": r.raw_bytes_up,
+                "publish_raw_bytes": r.publish_raw_bytes,
+                "publish_wire_bytes": r.publish_wire_bytes,
                 "round_time": r.round_time,
                 "num_models": r.num_models,
                 "events": list(r.events),
@@ -299,9 +363,15 @@ def log_from_state(payload: dict) -> TrainingLog:
     log = TrainingLog(
         strategy=payload["strategy"],
         mode=payload["mode"],
+        compress=payload.get("compress"),
         total_macs=payload["total_macs"],
         total_bytes_down=payload["total_bytes_down"],
         total_bytes_up=payload["total_bytes_up"],
+        # Pre-codec checkpoints carry no raw/wire split: everything they
+        # shipped was raw, so the wire total doubles as the raw total.
+        total_raw_bytes_up=payload.get("total_raw_bytes_up", payload["total_bytes_up"]),
+        publish_raw_bytes_total=payload.get("publish_raw_bytes_total", 0),
+        publish_wire_bytes_total=payload.get("publish_wire_bytes_total", 0),
         peak_storage_bytes=payload["peak_storage_bytes"],
         stopped_round=payload["stopped_round"],
         stop_reason=payload["stop_reason"],
@@ -339,6 +409,9 @@ def log_from_state(payload: dict) -> TrainingLog:
                 macs=r["macs"],
                 bytes_down=r["bytes_down"],
                 bytes_up=r["bytes_up"],
+                raw_bytes_up=r.get("raw_bytes_up", r["bytes_up"]),
+                publish_raw_bytes=r.get("publish_raw_bytes", 0),
+                publish_wire_bytes=r.get("publish_wire_bytes", 0),
                 round_time=r["round_time"],
                 num_models=r["num_models"],
                 events=list(r["events"]),

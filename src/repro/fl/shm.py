@@ -40,8 +40,11 @@ import numpy as np
 
 from ..nn.model import CellModel
 from ..nn.serialization import model_from_spec, model_spec
+from .transport import rle_decode_bytes, rle_encode_bytes
 
 __all__ = [
+    "WIRE_FORMAT_VERSION",
+    "SnapshotFormatError",
     "write_snapshot_segment",
     "read_snapshot_segment",
     "attach_segment",
@@ -51,7 +54,21 @@ __all__ = [
 ]
 
 _ALIGN = 64
-_HEADER_LEN = struct.Struct("<Q")
+
+#: Wire-format version of snapshot segments.  Version 1 was the implicit
+#: pre-tag layout (a bare 8-byte header length, per-tensor records without
+#: an encoding column); version 2 added the magic/version prefix and
+#: codec-aware tensor records.  Readers reject anything else up front with
+#: a descriptive :class:`SnapshotFormatError` instead of a pickle mismatch.
+WIRE_FORMAT_VERSION = 2
+
+_MAGIC = b"RSNP"
+# magic, wire-format version, pickled-header length.
+_PREFIX = struct.Struct("<4sHQ")
+
+
+class SnapshotFormatError(RuntimeError):
+    """A segment's wire format cannot be decoded by this reader."""
 
 
 def _aligned(offset: int) -> int:
@@ -75,27 +92,59 @@ def write_snapshot_segment(
     models: dict[str, CellModel],
     removed: frozenset[str] = frozenset(),
     all_ids: frozenset[str] = frozenset(),
-) -> tuple[shared_memory.SharedMemory, int]:
-    """Create segment ``name`` holding ``models``; returns ``(shm, bytes)``.
+    *,
+    rle: bool = False,
+    shadow: dict[tuple[str, str, str], bytes] | None = None,
+) -> tuple[shared_memory.SharedMemory, int, int]:
+    """Create segment ``name`` holding ``models``.
 
     ``kind`` is ``"full"`` (the complete suite) or ``"delta"`` (changed
     models only, plus the removed ids and the coherent id set for the
-    worker-side consistency check).  The returned byte count is the
-    payload size (header + tensor data).
+    worker-side consistency check).  Returns ``(shm, wire_bytes,
+    raw_bytes)`` — both counts cover header + tensor data; they are equal
+    unless run-length encoding shrank something.
+
+    ``shadow`` is the coordinator's record of each tensor's bytes as of
+    its *previous* publish, keyed ``(model_id, scope, key)``; when given
+    it is both consulted (the rle reference) and updated in place (this
+    publish becomes the next one's reference).  With ``rle=True`` each
+    tensor whose shadow bytes exist is stored as a byte-level run-length
+    diff against them when that is smaller — the worker replays the delta
+    chain in publish order, so its current tensor bytes are exactly the
+    shadow the coordinator diffed against.  Full segments are always
+    written raw (they are the rebase anchor for workers with no prior
+    state) but still refresh the shadow.
     """
     metas: dict[str, dict] = {}
-    blobs: list[tuple[int, np.ndarray]] = []
+    blobs: list[tuple[int, bytes]] = []
     offset = 0
-    tensor_bytes = 0
+    wire_bytes = 0
+    raw_bytes = 0
     for mid, model in models.items():
         tensors = []
         for scope, key, arr in _tensor_items(model):
             arr = np.ascontiguousarray(arr)
+            raw_data = arr.tobytes()
+            data = raw_data
+            raw_bytes += arr.nbytes
+            enc = "raw"
+            if shadow is not None:
+                skey = (mid, scope, key)
+                if rle:
+                    ref = shadow.get(skey)
+                    if ref is not None and len(ref) == len(raw_data):
+                        packed = rle_encode_bytes(raw_data, ref)
+                        if packed is not None:
+                            enc = "rle"
+                            data = packed
+                shadow[skey] = raw_data
             off = _aligned(offset)
-            tensors.append((scope, key, off, arr.shape, arr.dtype.str))
-            blobs.append((off, arr))
-            offset = off + arr.nbytes
-            tensor_bytes += arr.nbytes
+            tensors.append(
+                (scope, key, off, arr.shape, arr.dtype.str, enc, len(data))
+            )
+            blobs.append((off, data))
+            offset = off + len(data)
+            wire_bytes += len(data)
         metas[mid] = {
             "spec": model_spec(model),
             "version": model.version,
@@ -110,18 +159,15 @@ def write_snapshot_segment(
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )
-    payload_start = _aligned(_HEADER_LEN.size + len(header))
+    payload_start = _aligned(_PREFIX.size + len(header))
     total = max(payload_start + offset, 1)
     shm = shared_memory.SharedMemory(name=name, create=True, size=total)
     buf = shm.buf
-    _HEADER_LEN.pack_into(buf, 0, len(header))
-    buf[_HEADER_LEN.size : _HEADER_LEN.size + len(header)] = header
-    for off, arr in blobs:
-        dst = np.ndarray(
-            arr.shape, dtype=arr.dtype, buffer=buf, offset=payload_start + off
-        )
-        dst[...] = arr
-    return shm, len(header) + tensor_bytes
+    _PREFIX.pack_into(buf, 0, _MAGIC, WIRE_FORMAT_VERSION, len(header))
+    buf[_PREFIX.size : _PREFIX.size + len(header)] = header
+    for off, data in blobs:
+        buf[payload_start + off : payload_start + off + len(data)] = data
+    return shm, len(header) + wire_bytes, len(header) + raw_bytes
 
 
 # ----------------------------------------------------------------------
@@ -169,27 +215,77 @@ def _install_views(model: CellModel, views: dict[tuple[str, str], np.ndarray]) -
 
 def read_snapshot_segment(
     shm: shared_memory.SharedMemory,
+    prev_models: dict[str, CellModel] | None = None,
 ) -> tuple[str, dict[str, CellModel], frozenset[str], frozenset[str]]:
     """Decode a segment into ``(kind, models, removed, all_ids)``.
 
-    Each model is rebuilt from its architecture spec and its tensors are
-    installed as read-only views into the mapped buffer — zero-copy: the
-    only per-tensor cost is the ndarray wrapper.  Callers must keep
-    ``shm`` open for as long as any returned model is alive.
+    Each raw tensor is installed as a read-only view into the mapped
+    buffer — zero-copy: the only per-tensor cost is the ndarray wrapper.
+    Run-length-encoded tensors (delta segments written with snapshot
+    compression) are decoded against ``prev_models`` — the worker's
+    current suite state, whose tensor bytes match what the coordinator
+    diffed against — into private read-only arrays.  Callers must keep
+    ``shm`` open for as long as any returned model views into it.
     """
     buf = shm.buf
-    (hlen,) = _HEADER_LEN.unpack_from(buf, 0)
-    header = pickle.loads(bytes(buf[_HEADER_LEN.size : _HEADER_LEN.size + hlen]))
-    payload_start = _aligned(_HEADER_LEN.size + hlen)
+    if len(buf) < _PREFIX.size:
+        raise SnapshotFormatError(
+            f"segment too small ({len(buf)} bytes) to hold a snapshot prefix"
+        )
+    magic, version, hlen = _PREFIX.unpack_from(buf, 0)
+    if magic != _MAGIC:
+        raise SnapshotFormatError(
+            f"segment does not start with the {_MAGIC!r} snapshot magic "
+            f"(got {bytes(magic)!r}); this is either not a snapshot segment "
+            "or one written by a pre-versioned (wire format 1) build"
+        )
+    if version != WIRE_FORMAT_VERSION:
+        raise SnapshotFormatError(
+            f"segment has wire-format version {version}, this reader "
+            f"understands only version {WIRE_FORMAT_VERSION}"
+        )
+    header = pickle.loads(bytes(buf[_PREFIX.size : _PREFIX.size + hlen]))
+    payload_start = _aligned(_PREFIX.size + hlen)
     models: dict[str, CellModel] = {}
     for mid, meta in header["models"].items():
         model = model_from_spec(meta["spec"])
+        prev_tensors: dict[tuple[str, str], np.ndarray] | None = None
         views: dict[tuple[str, str], np.ndarray] = {}
-        for scope, key, off, shape, dtype_str in meta["tensors"]:
-            view = np.ndarray(
-                shape, dtype=np.dtype(dtype_str), buffer=buf, offset=payload_start + off
-            )
-            view.flags.writeable = False
+        for scope, key, off, shape, dtype_str, enc, length in meta["tensors"]:
+            dtype = np.dtype(dtype_str)
+            if enc == "raw":
+                view = np.ndarray(
+                    shape, dtype=dtype, buffer=buf, offset=payload_start + off
+                )
+                view.flags.writeable = False
+            elif enc == "rle":
+                if prev_tensors is None:
+                    if prev_models is None or mid not in prev_models:
+                        raise SnapshotFormatError(
+                            f"delta segment stores {mid!r}/{key} run-length "
+                            "encoded but no previous model state is available "
+                            "to decode it against"
+                        )
+                    prev_tensors = {
+                        (s, k): a for s, k, a in _tensor_items(prev_models[mid])
+                    }
+                ref = prev_tensors.get((scope, key))
+                if ref is None or ref.shape != tuple(shape) or ref.dtype != dtype:
+                    raise SnapshotFormatError(
+                        f"previous state for {mid!r}/{key} does not match the "
+                        "run-length-encoded tensor's shape/dtype"
+                    )
+                encoded = bytes(
+                    buf[payload_start + off : payload_start + off + length]
+                )
+                decoded = rle_decode_bytes(
+                    encoded, np.ascontiguousarray(ref).tobytes()
+                )
+                view = np.frombuffer(decoded, dtype=dtype).reshape(shape)
+            else:
+                raise SnapshotFormatError(
+                    f"unknown tensor encoding {enc!r} for {mid!r}/{key}"
+                )
             views[(scope, key)] = view
         _install_views(model, views)
         # A replica of server state: answer version-keyed lookups like the

@@ -58,6 +58,10 @@ class ClientUpdate:
     bytes_down: int
     bytes_up: int
     round_time: float
+    # Uncompressed upload size.  ``bytes_up`` is the on-wire count: equal
+    # to this unless a transport codec (repro.fl.transport) re-encoded the
+    # update, in which case the cost ledger reports both.
+    raw_bytes_up: int = 0
 
 
 def client_update_to_state(u: ClientUpdate) -> dict:
@@ -80,6 +84,7 @@ def client_update_to_state(u: ClientUpdate) -> dict:
         "bytes_down": u.bytes_down,
         "bytes_up": u.bytes_up,
         "round_time": u.round_time,
+        "raw_bytes_up": u.raw_bytes_up,
     }
 
 
@@ -97,6 +102,9 @@ def client_update_from_state(payload: dict) -> ClientUpdate:
         bytes_down=int(payload["bytes_down"]),
         bytes_up=int(payload["bytes_up"]),
         round_time=float(payload["round_time"]),
+        # Checkpoints from before the transport codec carry no raw count;
+        # those runs never compressed, so the wire count is the raw count.
+        raw_bytes_up=int(payload.get("raw_bytes_up", payload["bytes_up"])),
     )
 
 
@@ -210,6 +218,16 @@ class RoundRecord:
     # Scheduling-subsystem metrics (selector/pacing/straggler decisions);
     # populated by both engines since PR 4.
     scheduler: SchedulerRecord | None = None
+    # Transport-codec split of the cost ledger.  ``raw_bytes_up`` is the
+    # uncompressed client→server total for the round (== ``bytes_up``
+    # without a codec); the publish pair splits this round's server→worker
+    # snapshot segment bytes into uncompressed vs. on-wire.  The publish
+    # counters are infrastructure telemetry — a healed run republishes more
+    # than a fault-free one — so they export via the transport ledger, not
+    # the trajectory export (CONTRACTS.md I10).
+    raw_bytes_up: int = 0
+    publish_raw_bytes: int = 0
+    publish_wire_bytes: int = 0
 
 
 @dataclass
@@ -270,6 +288,16 @@ class TrainingLog:
     failed_updates: int = 0
     quarantined_updates: int = 0
     faults: list[FaultRecord] = field(default_factory=list)
+    # Transport codec (repro.fl.transport).  ``compress`` is the canonical
+    # codec spec (None = uncompressed); ``total_raw_bytes_up`` is the
+    # uncompressed client→server total (``total_bytes_up`` is on-wire).
+    # The publish totals split snapshot segment bytes the same way; they
+    # include evaluation-wave publishes and, like the per-round publish
+    # counters, export only via transport_to_dict (CONTRACTS.md I10).
+    compress: str | None = None
+    total_raw_bytes_up: int = 0
+    publish_raw_bytes_total: int = 0
+    publish_wire_bytes_total: int = 0
 
     # ---- headline metrics -------------------------------------------------
     def final_eval(self) -> EvalRecord:

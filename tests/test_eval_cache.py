@@ -444,6 +444,8 @@ class TestConfigValidation:
             retries = None
             quarantine = False
             quarantine_norm_mult = None
+            compress = None
+            wire_time = False
             checkpoint_dir = None
             checkpoint_every = None
             resume = False

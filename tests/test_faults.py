@@ -314,6 +314,30 @@ class TestInfrastructureBitIdentity:
 
         assert ledger(a) == ledger(b)
 
+    @pytest.mark.parametrize("spec", ["crash=0.5", "shm=0.8"])
+    def test_compressed_recovery_is_invisible(self, spec):
+        """I10 x I11: snapshot rle + worker crashes across a compaction.
+
+        10 rounds drive the publish chain past ``FULL_SNAPSHOT_EVERY`` (8),
+        so the run exercises delta-chain compaction with run-length-encoded
+        delta segments while workers are being killed and healed.  The
+        export must match the *clean compressed* run byte-for-byte, and the
+        lossless codec must match the clean *uncompressed* trajectory too.
+        """
+        compress = "update:rle,snapshot:rle"
+        kw = dict(executor="process", max_workers=2, rounds=10)
+        plain = _run(**kw)
+        clean = _run(**kw, compress=compress)
+        faulty = _run(**kw, compress=compress, faults=spec)
+        assert _export(faulty) == _export(clean)
+        rec = recovery_summary(faulty)
+        assert rec["worker_restarts"] + rec["retries"] > 0
+        # Lossless: only byte accounting may differ from the raw run.
+        assert [r.mean_loss for r in clean.rounds] == [
+            r.mean_loss for r in plain.rounds
+        ]
+        assert clean.total_raw_bytes_up == plain.total_bytes_up
+
 
 # ----------------------------------------------------------------------
 # task-level failures: retries, backoff, permanent failure
