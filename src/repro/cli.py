@@ -91,10 +91,16 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--straggler", choices=STRAGGLER_POLICIES, default="drop",
                    help="async straggler policy: drop late arrivals, or downsize "
                         "predicted-late clients to a smaller compatible model")
+    p.add_argument("--availability-trace", type=str, default=None, metavar="SPEC",
+                   help="availability churn model for --selector availability: "
+                        "'bernoulli:<rate>', 'diurnal:base=0.8,amplitude=0.5,"
+                        "period=24,class_phase=0.25' (per-device-class diurnal "
+                        "waves), or 'trace:<path.json>' (periodic per-class "
+                        "rate table)")
     p.add_argument("--evict-after", type=int, default=None,
                    help="evict a client's utility state after this many rounds "
-                        "of inactivity (FedTrans-family strategies; default: "
-                        "keep forever)")
+                        "of inactivity (FedTrans strategy dict and the fleet "
+                        "store's Oort utility column; default: keep forever)")
     p.add_argument("--faults", type=str, default=None, metavar="SPEC",
                    help="deterministic fault-injection spec, e.g. "
                         "'crash=0.05,exc=0.1,poison=0.2' (kinds: crash, exc, "
@@ -177,6 +183,14 @@ def _coordinator_overrides(args) -> dict:
         over["max_workers"] = args.workers
     if args.selector != "uniform":
         over["selector"] = args.selector
+    if args.availability_trace is not None:
+        if args.selector != "availability":
+            raise SystemExit(
+                "--availability-trace requires --selector availability"
+            )
+        over["availability_trace"] = args.availability_trace
+    if args.evict_after is not None:
+        over["evict_after"] = args.evict_after
     if args.mode != "sync":
         over["mode"] = args.mode
         if args.buffer_k is not None:

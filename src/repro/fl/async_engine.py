@@ -58,7 +58,13 @@ import numpy as np
 from ..stateful import Stateful, check_schema, schema_tag
 from .executor import RoundExecutor, TrainItem
 from .faults import ItemFailure, UpdateValidator
-from .scheduling import ClientSelector, make_pacing, make_selector, make_straggler
+from .scheduling import (
+    ClientSelector,
+    FleetStore,
+    make_pacing,
+    make_selector,
+    make_straggler,
+)
 from .strategy import Strategy
 from .types import (
     ArrivalRecord,
@@ -189,6 +195,7 @@ class BufferedAsyncEngine(Stateful):
         selector: ClientSelector | None = None,
         validator: UpdateValidator | None = None,
         transport=None,  # TransportCodec | None (coordinator-owned)
+        fleet: FleetStore | None = None,
     ):
         self.strategy = strategy
         self.clients = clients
@@ -204,13 +211,23 @@ class BufferedAsyncEngine(Stateful):
             config.async_concurrency or config.clients_per_round, len(clients)
         )
         self.deadline_s = config.deadline_s
+        # The columnar fleet store backs every per-wave decision (candidate
+        # views, straggler prescreen, quantile windows); the coordinator
+        # shares its instance, a standalone engine builds its own.
+        self.fleet = (
+            fleet
+            if fleet is not None
+            else FleetStore(clients, evict_after=getattr(config, "evict_after", None))
+        )
         self.selector = selector or make_selector(config.selector, seed=config.seed)
+        self.selector.bind_fleet(self.fleet)
         self.pacing = make_pacing(
             config.pacing,
             base_k=self.buffer_k,
             deadline_s=config.deadline_s,
             max_k=self.concurrency,
             clients=clients,
+            fleet=self.fleet,
         )
         self.straggler = make_straggler(config.straggler)
         self._in_flight: set[int] = set()
@@ -254,8 +271,13 @@ class BufferedAsyncEngine(Stateful):
         need = self.concurrency - len(self._in_flight)
         if need <= 0:
             return
-        available = [c for c in self.clients if c.client_id not in self._in_flight]
-        if not available:
+        # O(active) candidate pool: an exclusion view over the columnar
+        # store (registration order, in-flight rows skipped) instead of
+        # rebuilding an O(registered) Python list every wave.  The view
+        # presents the exact candidate ordering the list comprehension
+        # produced, so selection streams are unchanged (CONTRACTS.md I12).
+        available = self.fleet.available_view()
+        if not len(available):
             return
         wave = self._wave
         self._wave += 1
@@ -266,28 +288,33 @@ class BufferedAsyncEngine(Stateful):
         assignments = self.strategy.assign(wave, selected, self.rng)
         models = self._models()
         # Straggler policy: a predicted-late client may be re-assigned a
-        # smaller compatible model before any compute is spent.
-        deadlines: dict[int, float | None] = {}
+        # smaller compatible model before any compute is spent.  The whole
+        # wave resolves in one call so the policy can batch its predicted-
+        # late prescreen over the fleet's device columns.
+        deadlines: dict[int, float | None] = {
+            client.client_id: self.pacing.deadline_for(client) for client in selected
+        }
+        resolved = self.straggler.resolve_wave(
+            selected,
+            assignments,
+            deadlines,
+            models,
+            self.config.trainer,
+            self.strategy.compatible_models,
+            fleet=self.fleet,
+        )
         downsized_ids: set[int] = set()
         for client in selected:
-            deadline = self.pacing.deadline_for(client)
-            deadlines[client.client_id] = deadline
-            mids = assignments[client.client_id]
-            revised, downsized = self.straggler.resolve(
-                client,
-                mids,
-                deadline,
-                models,
-                self.config.trainer,
-                self.strategy.compatible_models,
-            )
+            cid = client.client_id
+            revised, downsized = resolved[cid]
             if downsized:
-                assignments[client.client_id] = revised
-                downsized_ids.add(client.client_id)
+                mids = assignments[cid]
+                assignments[cid] = revised
+                downsized_ids.add(cid)
                 self._step_downsized += 1
                 self._step_events.append(
-                    f"downsized client {client.client_id}: {mids[0]} -> "
-                    f"{revised[0]} to fit deadline {deadline:g}s"
+                    f"downsized client {cid}: {mids[0]} -> "
+                    f"{revised[0]} to fit deadline {deadlines[cid]:g}s"
                 )
         items = [
             TrainItem(model_id, client.client_id, sub_idx)
@@ -345,6 +372,7 @@ class BufferedAsyncEngine(Stateful):
             seq = self._dispatch_seq
             self._dispatch_seq += 1
             self._in_flight.add(client.client_id)
+            self.fleet.mark_in_flight(client.client_id)
             self.clock.schedule(
                 event_time,
                 seq,
@@ -372,6 +400,7 @@ class BufferedAsyncEngine(Stateful):
         """
         t_start = self.clock.now
         effective_k = self.pacing.buffer_k(step_idx)
+        fallback_before = getattr(self.selector, "offline_fallback_rounds", 0)
         self._step_requested = 0
         self._step_selected = 0
         self._step_downsized = 0
@@ -389,6 +418,7 @@ class BufferedAsyncEngine(Stateful):
             self._fill_slots()
             _, _, pending = self.clock.pop()
             self._in_flight.discard(pending.client_id)
+            self.fleet.clear_in_flight(pending.client_id)
             staleness = self._version - pending.version
             self.pacing.observe_arrival(
                 pending.client_id,
@@ -517,8 +547,14 @@ class BufferedAsyncEngine(Stateful):
                 f"dropped {dropped_here} straggler arrival(s) past {deadline_desc}"
             )
         counters = self.strategy.scheduler_counters()
-        evicted = int(counters.get("evicted", 0))
+        # Selector-state eviction (the fleet's utility columns) joins the
+        # strategy-side eviction in one meter; both are 0 unless
+        # evict_after is configured.
+        evicted = int(counters.get("evicted", 0)) + self.fleet.advance(step_idx)
         log.evicted_clients += evicted
+        offline_fallback = (
+            getattr(self.selector, "offline_fallback_rounds", 0) - fallback_before
+        )
         return RoundRecord(
             round_idx=step_idx,
             participants=[p.client_id for p in buffered],
@@ -544,6 +580,7 @@ class BufferedAsyncEngine(Stateful):
                 downsized=self._step_downsized,
                 dropped=dropped_here,
                 evicted=evicted,
+                offline_fallback_rounds=offline_fallback,
             ),
         )
 
@@ -578,6 +615,7 @@ class BufferedAsyncEngine(Stateful):
         check_schema(payload, self.schema)
         self.clock.load_state_dict(payload["clock"])
         self._in_flight = {int(cid) for cid in payload["in_flight"]}
+        self.fleet.set_in_flight_ids(self._in_flight)
         self._dispatch_seq = int(payload["dispatch_seq"])
         self._wave = int(payload["wave"])
         self._version = int(payload["version"])

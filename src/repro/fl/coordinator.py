@@ -177,7 +177,9 @@ from .scheduling import (
     PACING_POLICIES,
     SELECTOR_POLICIES,
     STRAGGLER_POLICIES,
+    FleetStore,
     make_selector,
+    parse_availability,
 )
 from .strategy import Strategy
 from .transport import TransportCodec, TransportConfig
@@ -265,6 +267,16 @@ class CoordinatorConfig:
     selector: str = "uniform"
     pacing: str = "static"
     straggler: str = "drop"
+    # Availability churn model for the "availability" selector: a spec like
+    # "diurnal:base=0.8,amplitude=0.5" or "trace:<path.json>" (see
+    # repro.fl.scheduling.availability).  None keeps the selector's flat
+    # Bernoulli rate.  Trajectory-affecting (changes who is online when).
+    availability_trace: str | None = None
+    # Reset the fleet store's per-client utility state (Oort's EMA column)
+    # for clients unseen this many rounds; None disables.  Bounds selector
+    # state at O(active) over unbounded churn; evicted clients re-enter at
+    # the optimistic prior, so default runs (None) are untouched.
+    evict_after: int | None = None
     # Fault tolerance (repro.fl.faults).  ``faults`` is a deterministic
     # injection spec ("crash=0.05,poison=0.2,..."; None disables);
     # ``retries`` caps attempts per work item (None = RetryPolicy's
@@ -343,6 +355,15 @@ class CoordinatorConfig:
             raise ValueError(
                 f"straggler must be one of {STRAGGLER_POLICIES}, got {self.straggler!r}"
             )
+        if self.availability_trace is not None:
+            if self.selector != "availability":
+                raise ValueError(
+                    "availability_trace requires selector='availability' "
+                    f"(got selector={self.selector!r})"
+                )
+            parse_availability(self.availability_trace)  # raises on a bad spec
+        if self.evict_after is not None and self.evict_after < 1:
+            raise ValueError("evict_after must be >= 1 (None disables eviction)")
         if self.mode == "sync":
             for knob in ("buffer_k", "async_concurrency", "deadline_s"):
                 if getattr(self, knob) is not None:
@@ -455,11 +476,21 @@ class Coordinator(Stateful):
             if config.quarantine
             else None
         )
-        self.selector = make_selector(config.selector, seed=config.seed)
+        # Columnar fleet store: one instance backs selection views, the
+        # selectors' per-client state, the straggler prescreen, and quantile
+        # pacing windows in both modes (the async engine shares it).
+        self.fleet = FleetStore(clients, evict_after=config.evict_after)
+        self.selector = make_selector(
+            config.selector,
+            seed=config.seed,
+            availability_trace=config.availability_trace,
+        )
+        self.selector.bind_fleet(self.fleet)
         self._async_engine = (
             BufferedAsyncEngine(
                 strategy, clients, config, self.executor, self._rng, self.selector,
                 validator=self.validator, transport=self.transport,
+                fleet=self.fleet,
             )
             if config.mode == "async"
             else None
@@ -515,6 +546,11 @@ class Coordinator(Stateful):
             # the same ids an uninterrupted run would mint.
             "model_id_counter": model_id_counter(),
             "cell_id_counter": cell_id_counter(),
+            # Fleet columns (activity stamps, utility EMA, round-time
+            # windows) precede the selector: a bound selector's payload is
+            # a projection of these columns, so the columns must be
+            # restored first on load.
+            "fleet": self.fleet.state_dict(),
             "selector": self.selector.state_dict(),
             "strategy": self.strategy.state_dict(),
             "engine": engine.state_dict() if engine is not None else None,
@@ -567,6 +603,12 @@ class Coordinator(Stateful):
         set_model_id_counter(int(payload["model_id_counter"]))
         set_cell_id_counter(int(payload["cell_id_counter"]))
         self._rng.bit_generator.state = payload["rng"]
+        # .get(): checkpoints written before the columnar fleet store carry
+        # no entry; the freshly constructed columns are then correct (the
+        # selector payload below rehydrates any utility state).
+        fleet_payload = payload.get("fleet")
+        if fleet_payload is not None:
+            self.fleet.load_state_dict(fleet_payload)
         self.selector.load_state_dict(payload["selector"])
         engine_payload = payload["engine"]
         if (engine_payload is None) != (self._async_engine is None):
@@ -799,8 +841,12 @@ class Coordinator(Stateful):
             self._absorb_publish(log, record)
             return record
         cfg = self.config
+        # Selection draws from the columnar view (registration order — the
+        # same candidate ordering the raw list presents, so the selection
+        # stream is bit-identical; CONTRACTS.md I12).
+        fallback_before = getattr(self.selector, "offline_fallback_rounds", 0)
         participants = self.selector.select(
-            round_idx, self.clients, cfg.clients_per_round, self._rng
+            round_idx, self.fleet.view(), cfg.clients_per_round, self._rng
         )
         assignments = self.strategy.assign(round_idx, participants, self._rng)
         models = self.strategy.models()
@@ -877,7 +923,9 @@ class Coordinator(Stateful):
                 f"{cfg.clients_per_round} requested clients"
             )
         counters = self.strategy.scheduler_counters()
-        evicted = int(counters.get("evicted", 0))
+        # Fleet-store utility eviction joins the strategy-side count; both
+        # are 0 unless evict_after is configured.
+        evicted = int(counters.get("evicted", 0)) + self.fleet.advance(round_idx)
         log.evicted_clients += evicted
         record = RoundRecord(
             round_idx=round_idx,
@@ -897,6 +945,10 @@ class Coordinator(Stateful):
                 requested=cfg.clients_per_round,
                 selected=len(participants),
                 evicted=evicted,
+                offline_fallback_rounds=(
+                    getattr(self.selector, "offline_fallback_rounds", 0)
+                    - fallback_before
+                ),
             ),
             raw_bytes_up=braw,
         )

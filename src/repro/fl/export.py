@@ -98,6 +98,17 @@ def log_to_dict(log: TrainingLog) -> dict:
                             "downsized": r.scheduler.downsized,
                             "dropped": r.scheduler.dropped,
                             "evicted": r.scheduler.evicted,
+                            # Only when nonzero: default-stack exports stay
+                            # byte-identical to pre-columnar goldens.
+                            **(
+                                {
+                                    "offline_fallback_rounds": (
+                                        r.scheduler.offline_fallback_rounds
+                                    )
+                                }
+                                if r.scheduler.offline_fallback_rounds
+                                else {}
+                            ),
                         }
                     }
                     if r.scheduler is not None
@@ -335,6 +346,7 @@ def log_state_dict(log: TrainingLog) -> dict:
                         "downsized": r.scheduler.downsized,
                         "dropped": r.scheduler.dropped,
                         "evicted": r.scheduler.evicted,
+                        "offline_fallback_rounds": r.scheduler.offline_fallback_rounds,
                     }
                     if r.scheduler is not None
                     else None
@@ -442,6 +454,11 @@ def log_from_state(payload: dict) -> TrainingLog:
                         downsized=sched["downsized"],
                         dropped=sched["dropped"],
                         evicted=sched["evicted"],
+                        # .get(): checkpoints written before the metering
+                        # existed carry no entry; zero is their state.
+                        offline_fallback_rounds=sched.get(
+                            "offline_fallback_rounds", 0
+                        ),
                     )
                     if sched is not None
                     else None

@@ -1,17 +1,29 @@
 """Pluggable scheduling subsystem: selection, pacing, straggler policies.
 
-Three policy seams (see :mod:`~repro.fl.scheduling.base`) plus the sparse
-:class:`~repro.fl.scheduling.store.ClientStateStore` that keeps per-client
-utility state proportional to the *active* fleet.  Policies are resolved
-by name through the ``make_*`` factories below, which is what
-``CoordinatorConfig.selector`` / ``pacing`` / ``straggler`` and the
-matching CLI flags feed.
+Three policy seams (see :mod:`~repro.fl.scheduling.base`) plus two stores:
+the columnar :class:`~repro.fl.scheduling.fleet.FleetStore` (structure-of-
+arrays fleet state — ids, device classes, utilities, round-time windows —
+that makes a scheduler tick O(active) at million-client registration) and
+the sparse :class:`~repro.fl.scheduling.store.ClientStateStore` for
+per-client strategy state.  Policies are resolved by name through the
+``make_*`` factories below, which is what ``CoordinatorConfig.selector`` /
+``pacing`` / ``straggler`` and the matching CLI flags feed; availability
+churn models (:mod:`~repro.fl.scheduling.availability`) ride the
+``availability`` selector via ``--availability-trace`` specs.
 """
 
 from __future__ import annotations
 
 from ..types import FLClient
+from .availability import (
+    AvailabilityModel,
+    BernoulliAvailability,
+    DiurnalAvailability,
+    TraceAvailability,
+    parse_availability,
+)
 from .base import ClientSelector, PacingPolicy, StragglerPolicy, estimate_round_time
+from .fleet import FleetStore, FleetView, RoundTimeStats, positions_to_rows
 from .pacing import AdaptivePacing, QuantilePacing, StaticPacing
 from .selectors import (
     AvailabilityAwareSelector,
@@ -37,6 +49,15 @@ __all__ = [
     "DropPolicy",
     "DownsizePolicy",
     "ClientStateStore",
+    "FleetStore",
+    "FleetView",
+    "RoundTimeStats",
+    "positions_to_rows",
+    "AvailabilityModel",
+    "BernoulliAvailability",
+    "DiurnalAvailability",
+    "TraceAvailability",
+    "parse_availability",
     "SELECTOR_POLICIES",
     "PACING_POLICIES",
     "STRAGGLER_POLICIES",
@@ -65,14 +86,28 @@ _STRAGGLERS = {
 }
 
 
-def make_selector(name: str, seed: int = 0) -> ClientSelector:
-    """Instantiate a client selector by policy name."""
+def make_selector(
+    name: str, seed: int = 0, availability_trace: str | None = None
+) -> ClientSelector:
+    """Instantiate a client selector by policy name.
+
+    ``availability_trace`` is an availability-model spec string (see
+    :func:`~repro.fl.scheduling.availability.parse_availability`) and is
+    only meaningful for the ``availability`` selector.
+    """
     try:
         cls = _SELECTORS[name]
     except KeyError:
         raise ValueError(
             f"unknown selector {name!r}; choose from {SELECTOR_POLICIES}"
         ) from None
+    if availability_trace is not None:
+        if cls is not AvailabilityAwareSelector:
+            raise ValueError(
+                f"availability_trace only applies to the 'availability' "
+                f"selector, not {name!r}"
+            )
+        return cls(seed=seed, model=parse_availability(availability_trace))
     return cls(seed=seed)
 
 
@@ -82,13 +117,17 @@ def make_pacing(
     deadline_s: float | None,
     max_k: int,
     clients: list[FLClient] | None = None,
+    fleet: FleetStore | None = None,
 ) -> PacingPolicy:
     """Instantiate a pacing policy by name.
 
     ``base_k`` is the resolved static buffer size (config or its
     clients_per_round-derived default), ``max_k`` the in-flight concurrency
     (the adaptive buffer never outgrows what can arrive), and ``clients``
-    the fleet (quantile pacing derives its device classes from it).
+    the fleet (quantile pacing derives its device classes from it).  When
+    ``fleet`` — the engine's columnar store — is given, quantile pacing
+    shares its class column and round-time ring buffers instead of keeping
+    private copies.
     """
     try:
         cls = _PACING[name]
@@ -97,7 +136,7 @@ def make_pacing(
             f"unknown pacing policy {name!r}; choose from {PACING_POLICIES}"
         ) from None
     if cls is QuantilePacing:
-        return cls(base_k, deadline_s, max_k, clients=clients)
+        return cls(base_k, deadline_s, max_k, clients=clients, fleet=fleet)
     return cls(base_k, deadline_s, max_k)
 
 

@@ -87,20 +87,32 @@ class ClientSelector(Stateful, ABC):
     def load_state_dict(self, payload: dict) -> None:
         check_schema(payload, schema_tag(type(self).__name__))
 
+    def bind_fleet(self, fleet) -> None:
+        """Attach the engine's columnar :class:`FleetStore`.
+
+        Stateless selectors ignore it; stateful ones (oort) move their
+        per-client state into the store's columns so selection is a
+        vectorized gather and ``evict_after`` eviction bounds it.
+        """
+
     @abstractmethod
     def select(
         self,
         round_idx: int,
-        clients: list[FLClient],
+        clients,
         num: int,
         rng: np.random.Generator,
     ) -> list[FLClient]:
         """Pick up to ``num`` participants from ``clients``.
 
         ``clients`` is the currently eligible pool (the async engine
-        excludes in-flight clients).  Implementations clamp to the pool
-        size — the caller surfaces under-provisioning in the round record —
-        but must raise on ``num < 1`` or an empty pool.
+        excludes in-flight clients): a ``list[FLClient]`` or a columnar
+        :class:`~repro.fl.scheduling.fleet.FleetView` — both present the
+        same candidate ordering, and implementations must produce the
+        identical selection stream for either shape.  Implementations
+        clamp to the pool size — the caller surfaces under-provisioning
+        in the round record — but must raise on ``num < 1`` or an empty
+        pool.
         """
 
     def observe_round(self, round_idx: int, updates: Iterable[ClientUpdate]) -> None:
@@ -176,3 +188,34 @@ class StragglerPolicy(Stateful, ABC):
         ``compatible_fn`` is :meth:`Strategy.compatible_models` — the
         substitute must come from the client's compatible set.
         """
+
+    def resolve_wave(
+        self,
+        clients: list[FLClient],
+        assignments: Mapping[int, list[str]],
+        deadlines: Mapping[int, float | None],
+        models: Mapping[str, CellModel],
+        trainer: LocalTrainerConfig,
+        compatible_fn: Callable[[FLClient], list[str]],
+        fleet=None,
+    ) -> dict[int, tuple[list[str], bool]]:
+        """Resolve one whole dispatch wave: ``{client_id: (assignment, downsized)}``.
+
+        The default loops :meth:`resolve` per client in wave order.
+        Policies with a vectorizable predicate (downsize's predicted-late
+        prescreen) override this and use ``fleet`` — the engine's columnar
+        :class:`~repro.fl.scheduling.fleet.FleetStore` — to batch the
+        estimates; results must match the per-client loop exactly.
+        """
+        del fleet
+        return {
+            client.client_id: self.resolve(
+                client,
+                assignments[client.client_id],
+                deadlines[client.client_id],
+                models,
+                trainer,
+                compatible_fn,
+            )
+            for client in clients
+        }

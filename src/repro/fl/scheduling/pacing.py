@@ -16,13 +16,10 @@ wholesale by a deadline sized for fast hardware.
 
 from __future__ import annotations
 
-from collections import deque
-
-import numpy as np
-
 from ...stateful import check_schema, schema_tag
 from ..types import FLClient
 from .base import PacingPolicy
+from .fleet import FleetStore, RoundTimeStats
 
 __all__ = ["StaticPacing", "AdaptivePacing", "QuantilePacing"]
 
@@ -135,6 +132,15 @@ class QuantilePacing(PacingPolicy):
     evidence is thin, rather than a guess).  ``buffer_k`` stays static;
     combine with :class:`AdaptivePacing` ideas in a custom policy if both
     are wanted.
+
+    The windows are :class:`~repro.fl.scheduling.fleet.RoundTimeStats`
+    ring buffers (one scatter write per arrival, one contiguous-slice
+    ``np.quantile`` per re-estimate — no per-arrival ``list()``
+    materialization), bit-identical in estimates to the per-class deque
+    lists they replaced: each window holds the same multiset of samples
+    and quantiles are order-invariant.  Bound to a :class:`FleetStore`
+    with matching geometry, the policy shares the store's columnar
+    round-time stats and class column instead of keeping its own copies.
     """
 
     name = "quantile"
@@ -150,6 +156,7 @@ class QuantilePacing(PacingPolicy):
         slack: float = 1.5,
         min_samples: int = 8,
         window: int = 256,
+        fleet: FleetStore | None = None,
     ):
         del max_k
         if not 0.0 < q <= 1.0:
@@ -169,23 +176,38 @@ class QuantilePacing(PacingPolicy):
         clients = clients or []
         num_classes = max(1, min(num_classes, len(clients) or 1))
         self.num_classes = num_classes
-        # Equal-occupancy speed classes: rank by compute speed, cut into
-        # num_classes contiguous groups.  Deterministic in the fleet.
-        speeds = {c.client_id: c.device.compute_speed for c in clients}
-        order = sorted(speeds, key=lambda cid: (speeds[cid], cid))
-        self._class_of: dict[int, int] = {
-            cid: min(i * num_classes // max(1, len(order)), num_classes - 1)
-            for i, cid in enumerate(order)
-        }
-        self._durations: list[deque[float]] = [
-            deque(maxlen=window) for _ in range(num_classes)
-        ]
+        # The fleet store carries the identical equal-occupancy class
+        # column and per-class ring buffers; share them when the geometry
+        # matches (same class count, same window, same client count).
+        self._fleet: FleetStore | None = None
+        if (
+            fleet is not None
+            and fleet.num_classes == num_classes
+            and fleet.stats.window == window
+            and fleet.num_rows == len(clients)
+        ):
+            self._fleet = fleet
+            self._stats = fleet.stats
+            self._class_of: dict[int, int] = {}
+        else:
+            # Equal-occupancy speed classes: rank by compute speed, cut
+            # into num_classes contiguous groups.  Deterministic in the
+            # fleet — the same cut FleetStore computes columnar-ly.
+            speeds = {c.client_id: c.device.compute_speed for c in clients}
+            order = sorted(speeds, key=lambda cid: (speeds[cid], cid))
+            self._class_of = {
+                cid: min(i * num_classes // max(1, len(order)), num_classes - 1)
+                for i, cid in enumerate(order)
+            }
+            self._stats = RoundTimeStats(num_classes, window)
         self._deadline: list[float | None] = [deadline_s] * num_classes
 
     def buffer_k(self, step_idx: int) -> int:
         return self.base_k
 
     def class_of(self, client_id: int) -> int:
+        if self._fleet is not None:
+            return self._fleet.class_of_id(client_id)
         return self._class_of.get(client_id, 0)
 
     def deadline_for(self, client: FLClient) -> float | None:
@@ -193,10 +215,9 @@ class QuantilePacing(PacingPolicy):
 
     def observe_arrival(self, client_id, duration, now, dropped):
         cls = self.class_of(client_id)
-        samples = self._durations[cls]
-        samples.append(float(duration))  # deque: oldest beyond `window` falls off
-        if len(samples) >= self.min_samples:
-            self._deadline[cls] = float(np.quantile(list(samples), self.q)) * self.slack
+        self._stats.observe(cls, float(duration))  # ring: oldest falls off
+        if self._stats.count(cls) >= self.min_samples:
+            self._deadline[cls] = self._stats.quantile(cls, self.q) * self.slack
 
     def deadline_quantiles(self) -> tuple[float, ...]:
         return tuple(d for d in self._deadline if d is not None)
@@ -204,11 +225,12 @@ class QuantilePacing(PacingPolicy):
     schema = schema_tag("QuantilePacing")
 
     def state_dict(self) -> dict:
-        # _class_of is configuration (a pure function of the fleet), not
-        # trajectory; the sliding duration windows and derived deadlines are.
+        # Class membership is configuration (a pure function of the fleet),
+        # not trajectory; the sliding duration windows and derived deadlines
+        # are.  Windows serialize oldest-first — the deque wire order.
         return {
             "schema": self.schema,
-            "durations": [list(d) for d in self._durations],
+            "durations": self._stats.chronological(),
             "deadline": list(self._deadline),
         }
 
@@ -220,9 +242,7 @@ class QuantilePacing(PacingPolicy):
                 f"checkpoint has {len(durations)} device classes; "
                 f"this policy was built with {self.num_classes}"
             )
-        self._durations = [
-            deque((float(x) for x in d), maxlen=self.window) for d in durations
-        ]
+        self._stats.load_chronological(durations)
         self._deadline = [
             None if d is None else float(d) for d in payload["deadline"]
         ]

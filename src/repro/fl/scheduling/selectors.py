@@ -9,6 +9,17 @@ that are online.  ``oort`` skews selection toward high-recent-loss clients
 data the current models fit worst are the most informative to train next,
 and never-tried clients enter at the current maximum utility so
 exploration never starves.
+
+Selectors accept either the legacy ``list[FLClient]`` pool or a
+:class:`~repro.fl.scheduling.fleet.FleetView` over the columnar
+:class:`~repro.fl.scheduling.fleet.FleetStore`.  Both paths make the same
+``rng.choice`` call over the same candidate ordering (registration order),
+so selection streams are bit-identical between them — the view path just
+does it without materializing an O(registered) Python list (CONTRACTS.md
+I12).  When a selector is *bound* to a fleet store
+(:meth:`ClientSelector.bind_fleet`), its per-client state lives in the
+store's columns: Oort's utility EMA becomes a masked gather + scatter, and
+``evict_after`` inactivity eviction bounds it for free.
 """
 
 from __future__ import annotations
@@ -19,7 +30,9 @@ import numpy as np
 
 from ...stateful import check_schema, schema_tag
 from ..types import ClientUpdate, FLClient
+from .availability import AvailabilityModel
 from .base import ClientSelector
+from .fleet import FleetStore, FleetView
 
 __all__ = [
     "UniformSelector",
@@ -42,22 +55,32 @@ def _splitmix64(x: np.ndarray) -> np.ndarray:
     return x ^ (x >> _U64(31))
 
 
-def uniform_choice(
-    clients: list[FLClient], num: int, rng: np.random.Generator
-) -> list[FLClient]:
+def _pool_ids(pool) -> np.ndarray:
+    if isinstance(pool, FleetView):
+        return pool.ids
+    return np.asarray([c.client_id for c in pool])
+
+
+def uniform_choice(pool, num: int, rng: np.random.Generator) -> list[FLClient]:
     """Uniform selection without replacement (Algorithm 1's Select).
 
     Clamps ``num`` to the pool size (the caller records under-provisioning)
     but rejects ``num < 1`` — a silently empty round is a configuration
-    error, not a schedule.
+    error, not a schedule.  ``pool`` is a ``list[FLClient]`` or a
+    ``FleetView``; both make the identical ``rng.choice(len(pool), ...)``
+    call, and the view maps the chosen positions straight to rows instead
+    of indexing a materialized list.
     """
-    if not clients:
+    size = len(pool)
+    if size == 0:
         raise ValueError("no registered clients")
     if num < 1:
         raise ValueError(f"cannot select {num} clients; num must be >= 1")
-    num = min(num, len(clients))
-    idx = rng.choice(len(clients), size=num, replace=False)
-    return [clients[i] for i in idx]
+    num = min(num, size)
+    idx = rng.choice(size, size=num, replace=False)
+    if isinstance(pool, FleetView):
+        return pool.take(idx)
+    return [pool[i] for i in idx]
 
 
 class UniformSelector(ClientSelector):
@@ -86,40 +109,111 @@ class AvailabilityAwareSelector(ClientSelector):
     constructions.  When fewer than ``num`` clients are online the whole
     online pool is taken, and the engine's round record surfaces the
     shortfall.
+
+    An optional :class:`~repro.fl.scheduling.availability.AvailabilityModel`
+    reshapes the *rate* per round and device class (diurnal cycles, trace
+    tables); the coin stays the same hash stream, so masks remain pool-order
+    and backend invariant.  A fully offline round falls back to the whole
+    pool rather than deadlocking — metered in ``offline_fallback_rounds``
+    and surfaced on the round's ``SchedulerRecord``.
     """
 
     name = "availability"
 
-    def __init__(self, seed: int = 0, availability: float = 0.8):
+    def __init__(
+        self,
+        seed: int = 0,
+        availability: float = 0.8,
+        model: AvailabilityModel | None = None,
+    ):
         if not 0.0 < availability <= 1.0:
             raise ValueError("availability must lie in (0, 1]")
         self.seed = seed
         self.availability = availability
+        self.model = model
+        self._fleet: FleetStore | None = None
+        self.offline_fallback_rounds = 0
 
-    def _online_mask(self, round_idx: int, client_ids: np.ndarray) -> np.ndarray:
+    def bind_fleet(self, fleet: FleetStore) -> None:
+        self._fleet = fleet
+
+    def _rates(self, round_idx: int, classes: np.ndarray | None):
+        if self.model is None:
+            return self.availability
+        return self.model.rates(round_idx, classes)
+
+    def _online_mask(
+        self,
+        round_idx: int,
+        client_ids: np.ndarray,
+        classes: np.ndarray | None = None,
+    ) -> np.ndarray:
         with np.errstate(over="ignore"):  # wrapping uint64 arithmetic is the point
             base = _splitmix64(
                 np.asarray([self.seed], dtype=np.uint64) ^ _AVAIL_SALT
             ) ^ _splitmix64(np.asarray([round_idx], dtype=np.uint64))
             draws = _splitmix64(client_ids.astype(np.uint64) ^ base)
         # Top 53 bits -> uniform double in [0, 1).
-        return (draws >> _U64(11)) / float(1 << 53) < self.availability
+        return (draws >> _U64(11)) / float(1 << 53) < self._rates(round_idx, classes)
+
+    def _classes_for(self, round_idx: int, client_ids: np.ndarray) -> np.ndarray | None:
+        if self.model is None or not self.model.uses_classes:
+            return None
+        if self._fleet is None:
+            # A bare list pool has no class column; treat it as class 0.
+            return np.zeros(client_ids.size, dtype=np.int16)
+        ro = self._fleet._row_of
+        rows = np.fromiter(
+            (ro.get(int(c), -1) for c in client_ids),
+            dtype=np.int64,
+            count=client_ids.size,
+        )
+        classes = np.zeros(client_ids.size, dtype=np.int16)
+        known = rows >= 0
+        classes[known] = self._fleet.classes[rows[known]]
+        return classes
 
     def is_online(self, round_idx: int, client_id: int) -> bool:
-        return bool(self._online_mask(round_idx, np.asarray([client_id]))[0])
+        ids = np.asarray([client_id])
+        return bool(self._online_mask(round_idx, ids, self._classes_for(round_idx, ids))[0])
 
     def select(self, round_idx, clients, num, rng):
         if num < 1:
             raise ValueError(f"cannot select {num} clients; num must be >= 1")
-        ids = np.asarray([c.client_id for c in clients])
-        mask = self._online_mask(round_idx, ids)
+        if isinstance(clients, FleetView):
+            view = clients
+            classes = None
+            if self.model is not None and self.model.uses_classes:
+                classes = view.classes
+            mask = self._online_mask(round_idx, view.ids, classes)
+            if mask.any():
+                online = view.restrict(mask)
+            else:
+                # A fully offline round would stall the engine; fall back
+                # to the offline pool rather than deadlock (surfaced as
+                # offline_fallback_rounds on the SchedulerRecord).
+                self.offline_fallback_rounds += 1
+                online = view
+            return uniform_choice(online, min(num, len(online)), rng)
+        ids = _pool_ids(clients)
+        mask = self._online_mask(round_idx, ids, self._classes_for(round_idx, ids))
         online = [c for c, m in zip(clients, mask) if m]
         if not online:
-            # A fully offline round would stall the engine; fall back to
-            # the offline pool rather than deadlock (surfaced as an
-            # under-provisioned round when even that pool is short).
+            self.offline_fallback_rounds += 1
             online = clients
         return uniform_choice(online, min(num, len(online)), rng)
+
+    schema = schema_tag("AvailabilityAwareSelector")
+
+    def state_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "offline_fallback_rounds": self.offline_fallback_rounds,
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        check_schema(payload, self.schema)
+        self.offline_fallback_rounds = int(payload.get("offline_fallback_rounds", 0))
 
 
 class OortSelector(ClientSelector):
@@ -133,6 +227,15 @@ class OortSelector(ClientSelector):
     The full Oort also divides by observed system speed; our simulated
     fleets express slowness through the pacing/straggler policies instead,
     so this selector stays purely statistical.
+
+    Unbound, utilities live in a dict (the legacy shape — unbounded in the
+    number of clients ever seen).  Bound to a
+    :class:`~repro.fl.scheduling.fleet.FleetStore`, they live in the
+    store's utility column: ``_weights`` is a masked gather, ``observe_round``
+    a scatter, and the store's ``evict_after`` inactivity eviction bounds
+    the resident state at O(fleet columns) with churned clients rehydrating
+    at the optimistic prior.  Both representations produce bit-identical
+    weights (same float64 values through the same IEEE expression).
     """
 
     name = "oort"
@@ -146,26 +249,55 @@ class OortSelector(ClientSelector):
         self.alpha = alpha
         self.momentum = momentum
         self._utility: dict[int, float] = {}
+        self._fleet: FleetStore | None = None
 
-    def _weights(self, clients: list[FLClient]) -> np.ndarray:
-        default = max(self._utility.values()) if self._utility else 1.0
-        u = np.array([self._utility.get(c.client_id, default) for c in clients])
+    def bind_fleet(self, fleet: FleetStore) -> None:
+        self._fleet = fleet
+        if self._utility:
+            # Observations made before binding migrate into the columns.
+            fleet.set_utilities(self._utility)
+            self._utility = {}
+
+    def _weights(self, pool) -> np.ndarray:
+        if self._fleet is not None:
+            if isinstance(pool, FleetView):
+                rows = pool.rows()
+            else:
+                rows = self._fleet.rows_of([c.client_id for c in pool])
+            u = self._fleet.utilities(rows, self._fleet.max_utility())
+        else:
+            default = max(self._utility.values()) if self._utility else 1.0
+            u = np.array(
+                [self._utility.get(int(cid), default) for cid in _pool_ids(pool)]
+            )
         # Floor keeps every probability positive (sampling without
         # replacement needs full support even for converged clients).
         w = (1e-6 + np.maximum(u, 0.0)) ** self.alpha
         return w / w.sum()
 
     def select(self, round_idx, clients, num, rng):
-        if not clients:
+        size = len(clients)
+        if size == 0:
             raise ValueError("no registered clients")
         if num < 1:
             raise ValueError(f"cannot select {num} clients; num must be >= 1")
-        num = min(num, len(clients))
-        idx = rng.choice(len(clients), size=num, replace=False, p=self._weights(clients))
+        num = min(num, size)
+        idx = rng.choice(size, size=num, replace=False, p=self._weights(clients))
+        if isinstance(clients, FleetView):
+            return clients.take(idx)
         return [clients[i] for i in idx]
 
     def observe_round(self, round_idx: int, updates: Iterable[ClientUpdate]) -> None:
         m = self.momentum
+        if self._fleet is not None:
+            ups = list(updates)
+            self._fleet.observe_utility(
+                round_idx,
+                [u.client_id for u in ups],
+                [float(u.train_loss) for u in ups],
+                m,
+            )
+            return
         for u in updates:
             prev = self._utility.get(u.client_id)
             loss = float(u.train_loss)
@@ -176,11 +308,19 @@ class OortSelector(ClientSelector):
     schema = schema_tag("OortSelector")
 
     def state_dict(self) -> dict:
+        utilities = (
+            self._fleet.export_utilities() if self._fleet is not None else self._utility
+        )
         return {
             "schema": self.schema,
-            "utility": {str(cid): u for cid, u in self._utility.items()},
+            "utility": {str(cid): float(u) for cid, u in utilities.items()},
         }
 
     def load_state_dict(self, payload: dict) -> None:
         check_schema(payload, self.schema)
-        self._utility = {int(cid): float(u) for cid, u in payload["utility"].items()}
+        utilities = {int(cid): float(u) for cid, u in payload["utility"].items()}
+        if self._fleet is not None:
+            self._fleet.set_utilities(utilities)
+            self._utility = {}
+        else:
+            self._utility = utilities

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Callable, Mapping
 
+import numpy as np
+
 from ...nn.model import CellModel
 from ..client import LocalTrainerConfig
 from ..types import FLClient
@@ -69,3 +71,60 @@ class DownsizePolicy(StragglerPolicy):
         if not fitting:
             return model_ids, False
         return [max(fitting)[1]], True
+
+    def resolve_wave(
+        self,
+        clients: list[FLClient],
+        assignments: Mapping[int, list[str]],
+        deadlines: Mapping[int, float | None],
+        models: Mapping[str, CellModel],
+        trainer: LocalTrainerConfig,
+        compatible_fn: Callable[[FLClient], list[str]],
+        fleet=None,
+    ) -> dict[int, tuple[list[str], bool]]:
+        """Batch the predicted-late prescreen over the fleet's device columns.
+
+        One vectorized :meth:`FleetStore.predict_round_times` call per
+        distinct assigned model replaces a Python estimate per client;
+        only the clients the prescreen flags as late run the per-client
+        downsize search.  The vectorized estimates are bit-identical to
+        the scalar estimator (same IEEE expression over the same inputs),
+        so the outcome is exactly the per-client loop's.
+        """
+        if fleet is None:
+            return super().resolve_wave(
+                clients, assignments, deadlines, models, trainer, compatible_fn
+            )
+        results: dict[int, tuple[list[str], bool]] = {}
+        # Only single-model assignments with a live deadline are downsize
+        # candidates; everything else passes through untouched (exactly
+        # resolve()'s own early exit).  A client outside the fleet's rows
+        # falls back to the scalar resolve.
+        groups: dict[str, list[FLClient]] = {}
+        for client in clients:
+            cid = client.client_id
+            mids = assignments[cid]
+            if deadlines[cid] is None or len(mids) != 1:
+                results[cid] = (mids, False)
+            elif cid in fleet:
+                results[cid] = (mids, False)
+                groups.setdefault(mids[0], []).append(client)
+            else:
+                results[cid] = self.resolve(
+                    client, mids, deadlines[cid], models, trainer, compatible_fn
+                )
+        for mid, group in groups.items():
+            rows = fleet.rows_of([c.client_id for c in group])
+            est = fleet.predict_round_times(rows, models[mid], trainer)
+            dls = np.asarray([deadlines[c.client_id] for c in group], dtype=np.float64)
+            for client, late in zip(group, est > dls):
+                if late:
+                    results[client.client_id] = self.resolve(
+                        client,
+                        assignments[client.client_id],
+                        deadlines[client.client_id],
+                        models,
+                        trainer,
+                        compatible_fn,
+                    )
+        return results

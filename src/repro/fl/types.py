@@ -175,7 +175,11 @@ class SchedulerRecord:
     deadline (``None`` when disabled), the per-device-class deadline
     quantiles currently active (quantile pacing), and how many dispatches
     the straggler policy downsized.  ``evicted`` counts clients the sparse
-    utility store let go this round.
+    utility store let go this round.  ``offline_fallback_rounds`` counts
+    how many selection calls this round found *nobody* online and fell
+    back to the full pool rather than deadlock (availability selector
+    only) — a nonzero value means the availability model starved the
+    round and the participation mix is not what the mask prescribed.
     """
 
     selector: str
@@ -189,6 +193,7 @@ class SchedulerRecord:
     downsized: int = 0
     dropped: int = 0
     evicted: int = 0
+    offline_fallback_rounds: int = 0
 
 
 @dataclass

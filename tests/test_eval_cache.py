@@ -437,6 +437,8 @@ class TestConfigValidation:
             eval_cache = False
             sanitize = False
             selector = "uniform"
+            availability_trace = None
+            evict_after = None
             pacing = "static"
             straggler = "drop"
             dtype = None

@@ -679,6 +679,8 @@ class TestConfigPlumbing:
             eval_cache = True
             sanitize = False
             selector = "uniform"
+            availability_trace = None
+            evict_after = None
             pacing = "static"
             straggler = "drop"
             dtype = None
